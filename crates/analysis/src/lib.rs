@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! `gcr-analysis` — data-footprint and dependence analysis.
+//!
+//! The paper (Section 4.1) summarizes "the data access of each loop by its
+//! data footprint. For each dimension of an array, a data footprint records
+//! whether the loop accesses the whole dimension, a number of elements on
+//! the border, or a loop-variant section. Data dependence is tested by the
+//! intersection of footprints. The range information is also used to
+//! calculate the minimal alignment factor between loops."
+//!
+//! This crate provides exactly those pieces:
+//!
+//! * [`access`] — flattened array-access collection with read/write/reduce
+//!   kinds;
+//! * [`footprint`] — per-dimension access sets ([`footprint::DimSet`]) and
+//!   conservative overlap tests under the "parameters are large" order;
+//! * [`level`] — classification of references relative to one fusion level
+//!   ([`level::LevelRef`]): *variant* (subscripted by the level variable) or
+//!   *invariant* (border/constant), with active time ranges;
+//! * [`align`] — pairwise dependence constraints on the alignment factor,
+//!   the machinery behind the paper's `FusibleTest`;
+//! * [`stats`] — static program statistics (Figure 9);
+//! * [`summary`] — printable per-loop data-footprint records (Section 4.1).
+
+pub mod access;
+pub mod align;
+pub mod bounds;
+pub mod footprint;
+pub mod graph;
+pub mod level;
+pub mod stats;
+pub mod summary;
+
+pub use access::{collect_accesses, AccessInfo, AccessKind};
+pub use align::{pairwise_constraint, AlignConstraint};
+pub use footprint::{var_ranges, DimSet, VarRanges};
+pub use level::{classify_level_refs, LevelPos, LevelRef};

@@ -1,0 +1,98 @@
+//! Static program statistics, used to regenerate the paper's Figure 9
+//! (application table: lines, loop nests, nest depths, number of arrays).
+
+use gcr_ir::{Program, Stmt};
+
+/// Summary statistics of one program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// Program name.
+    pub name: String,
+    /// Number of source lines when printed as LoopLang.
+    pub lines: usize,
+    /// Total number of loops.
+    pub loops: usize,
+    /// Number of top-level loop nests.
+    pub nests: usize,
+    /// Minimum nesting depth over top-level nests.
+    pub min_depth: usize,
+    /// Maximum nesting depth over top-level nests.
+    pub max_depth: usize,
+    /// Number of declared arrays (excluding scalars).
+    pub arrays: usize,
+    /// Number of declared scalars.
+    pub scalars: usize,
+    /// Number of assignment statements.
+    pub assigns: usize,
+}
+
+/// Computes statistics for a program.
+pub fn program_stats(prog: &Program) -> ProgramStats {
+    fn depth_of(stmt: &Stmt) -> usize {
+        match stmt {
+            Stmt::Assign(_) => 0,
+            Stmt::Loop(l) => {
+                1 + l.body.iter().map(|gs| depth_of(&gs.stmt)).max().unwrap_or(0)
+            }
+        }
+    }
+    let depths: Vec<usize> = prog
+        .body
+        .iter()
+        .filter(|gs| matches!(gs.stmt, Stmt::Loop(_)))
+        .map(|gs| depth_of(&gs.stmt))
+        .collect();
+    ProgramStats {
+        name: prog.name.clone(),
+        lines: gcr_ir::print::print_program(prog).lines().count(),
+        loops: prog.count_loops(),
+        nests: prog.count_nests(),
+        min_depth: depths.iter().copied().min().unwrap_or(0),
+        max_depth: depths.iter().copied().max().unwrap_or(0),
+        arrays: prog.arrays.iter().filter(|a| !a.is_scalar()).count(),
+        scalars: prog.arrays.iter().filter(|a| a.is_scalar()).count(),
+        assigns: prog.count_assigns(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_ir::{Expr, LinExpr, ProgramBuilder, Subscript};
+
+    #[test]
+    fn counts_nests_and_depths() {
+        let mut b = ProgramBuilder::new("t");
+        let n = b.param("N");
+        let a = b.array("A", &[LinExpr::param(n), LinExpr::param(n)]);
+        let sc = b.scalar("s");
+        let i = b.var("i");
+        let j = b.var("j");
+        let s1 = b.assign(
+            a,
+            vec![Subscript::var(j, 0), Subscript::var(i, 0)],
+            Expr::Const(0.0),
+        );
+        let inner = b.for_(j, LinExpr::konst(1), LinExpr::param(n), vec![s1]);
+        let outer = b.for_(i, LinExpr::konst(1), LinExpr::param(n), vec![inner]);
+        b.push(outer);
+        let k = b.var("k");
+        let s2 = b.assign(
+            a,
+            vec![Subscript::konst(1), Subscript::var(k, 0)],
+            Expr::Const(1.0),
+        );
+        let l2 = b.for_(k, LinExpr::konst(1), LinExpr::param(n), vec![s2]);
+        b.push(l2);
+        let _ = sc;
+        let st = program_stats(&b.finish());
+        assert_eq!(st.loops, 3);
+        assert_eq!(st.nests, 2);
+        assert_eq!(st.min_depth, 1);
+        assert_eq!(st.max_depth, 2);
+        assert_eq!(st.arrays, 1);
+        assert_eq!(st.scalars, 1);
+        assert_eq!(st.assigns, 2);
+        assert!(st.lines > 5);
+    }
+}

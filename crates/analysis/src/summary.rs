@@ -1,0 +1,233 @@
+//! Loop data-footprint summaries.
+//!
+//! "The data access of each loop is summarized by its data footprint. For
+//! each dimension of an array, a data footprint records whether the loop
+//! accesses the whole dimension, a number of elements on the border, or a
+//! loop-variant section (a range enclosing the loop index variable)."
+//! (Section 4.1.) This module renders exactly that record for inspection
+//! (`gcrc --footprints`) and for tests that pin the analysis behaviour.
+
+use crate::access::{collect_accesses, AccessKind};
+use crate::footprint::{extend_var_ranges, VarRanges};
+use gcr_ir::{ArrayId, LinExpr, Loop, Program, Range, Stmt, Subscript};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Access summary of one array dimension within one loop.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DimSummary {
+    /// Swept by a loop variable: a loop-variant section `[var+min, var+max]`
+    /// offsets around the named loop level, or the whole range of an inner
+    /// loop.
+    Section {
+        /// Variable name sweeping the dimension.
+        var: String,
+        /// Smallest constant offset seen.
+        min_off: i64,
+        /// Largest constant offset seen.
+        max_off: i64,
+    },
+    /// Only loop-invariant (border) positions.
+    Border(Vec<LinExpr>),
+    /// Both a swept section and border positions.
+    Mixed {
+        /// Variable name sweeping the dimension.
+        var: String,
+        /// Offset hull of the swept part.
+        min_off: i64,
+        /// Offset hull of the swept part.
+        max_off: i64,
+        /// Invariant positions also touched.
+        borders: Vec<LinExpr>,
+    },
+}
+
+/// Footprint of one array within one loop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrayFootprint {
+    /// The array.
+    pub array: ArrayId,
+    /// Whether the loop writes (or reduces into) the array.
+    pub written: bool,
+    /// Summary per data dimension (innermost first).
+    pub dims: Vec<DimSummary>,
+}
+
+/// Computes the footprint of every array a loop accesses.
+pub fn loop_footprint(l: &Loop, prog: &Program) -> Vec<ArrayFootprint> {
+    let mut ranges = VarRanges::new();
+    let stmt = Stmt::Loop(l.clone());
+    extend_var_ranges(&stmt, &mut ranges);
+    let mut accs = Vec::new();
+    collect_accesses(&stmt, &mut accs);
+    // Per array: per dim, offsets per var + invariant points.
+    struct DimAcc {
+        offs: BTreeMap<gcr_ir::VarId, (i64, i64)>,
+        points: Vec<LinExpr>,
+    }
+    let mut per: BTreeMap<ArrayId, (bool, Vec<DimAcc>)> = BTreeMap::new();
+    for a in &accs {
+        let rank = a.aref.subs.len();
+        let entry = per.entry(a.aref.array).or_insert_with(|| {
+            (
+                false,
+                (0..rank)
+                    .map(|_| DimAcc { offs: BTreeMap::new(), points: Vec::new() })
+                    .collect(),
+            )
+        });
+        entry.0 |= !matches!(a.kind, AccessKind::Read);
+        for (d, sub) in a.aref.subs.iter().enumerate() {
+            match sub {
+                Subscript::Var { var, offset } => {
+                    let e = entry.1[d].offs.entry(*var).or_insert((*offset, *offset));
+                    e.0 = e.0.min(*offset);
+                    e.1 = e.1.max(*offset);
+                }
+                Subscript::Invariant(k) => {
+                    if !entry.1[d].points.contains(k) {
+                        entry.1[d].points.push(k.clone());
+                    }
+                }
+            }
+        }
+    }
+    per.into_iter()
+        .map(|(array, (written, dims))| ArrayFootprint {
+            array,
+            written,
+            dims: dims
+                .into_iter()
+                .map(|d| {
+                    // Pick the dominant sweeping variable (first by id).
+                    match d.offs.iter().next() {
+                        Some((&v, &(lo, hi))) if d.points.is_empty() => DimSummary::Section {
+                            var: prog.var(v).name.clone(),
+                            min_off: lo,
+                            max_off: hi,
+                        },
+                        Some((&v, &(lo, hi))) => DimSummary::Mixed {
+                            var: prog.var(v).name.clone(),
+                            min_off: lo,
+                            max_off: hi,
+                            borders: d.points,
+                        },
+                        None => DimSummary::Border(d.points),
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Renders the footprints of every top-level loop in a program.
+pub fn render_footprints(prog: &Program) -> String {
+    let mut out = String::new();
+    let lin = |e: &LinExpr| {
+        let namer = |q: gcr_ir::ParamId| prog.param(q).name.clone();
+        format!("{}", e.display_with(&namer))
+    };
+    for (idx, gs) in prog.body.iter().enumerate() {
+        let Stmt::Loop(l) = &gs.stmt else { continue };
+        let Range { lo, hi } = l.range();
+        let _ = writeln!(
+            out,
+            "loop [{idx}] {} = {}, {}:",
+            prog.var(l.var).name,
+            lin(&lo),
+            lin(&hi)
+        );
+        for fp in loop_footprint(l, prog) {
+            let dims: Vec<String> = fp
+                .dims
+                .iter()
+                .map(|d| match d {
+                    DimSummary::Section { var, min_off, max_off } => {
+                        format!("{var}{min_off:+}..{var}{max_off:+}")
+                    }
+                    DimSummary::Border(pts) => {
+                        let p: Vec<_> = pts.iter().map(&lin).collect();
+                        format!("border {{{}}}", p.join(", "))
+                    }
+                    DimSummary::Mixed { var, min_off, max_off, borders } => {
+                        let p: Vec<_> = borders.iter().map(&lin).collect();
+                        format!(
+                            "{var}{min_off:+}..{var}{max_off:+} + border {{{}}}",
+                            p.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {:<8} {} [{}]",
+                prog.array(fp.array).name,
+                if fp.written { "rw" } else { "ro" },
+                dims.join(", ")
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_frontend::parse;
+
+    #[test]
+    fn records_sections_and_borders() {
+        let p = parse(
+            "
+program f
+param N
+array A[N, N], B[N, N]
+
+for i = 2, N - 1 {
+  for j = 2, N - 1 {
+    A[j, i] = f(A[j-1, i], A[j+1, i], B[1, i], B[N, i])
+  }
+}
+",
+        )
+        .unwrap();
+        let l = p.body[0].stmt.as_loop().unwrap();
+        let fps = loop_footprint(l, &p);
+        assert_eq!(fps.len(), 2);
+        let a = &fps[0];
+        assert!(a.written);
+        assert_eq!(
+            a.dims[0],
+            DimSummary::Section { var: "j".into(), min_off: -1, max_off: 1 }
+        );
+        assert_eq!(
+            a.dims[1],
+            DimSummary::Section { var: "i".into(), min_off: 0, max_off: 0 }
+        );
+        let b = &fps[1];
+        assert!(!b.written);
+        match &b.dims[0] {
+            DimSummary::Border(pts) => assert_eq!(pts.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn renders_readably() {
+        let p = parse(
+            "
+program f
+param N
+array A[N]
+
+for i = 2, N {
+  A[i] = f(A[i-1], A[1])
+}
+",
+        )
+        .unwrap();
+        let txt = render_footprints(&p);
+        assert!(txt.contains("loop [0] i = 2, N:"), "{txt}");
+        assert!(txt.contains("A        rw [i-1..i+0 + border {1}]"), "{txt}");
+    }
+}

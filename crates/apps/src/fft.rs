@@ -1,0 +1,102 @@
+//! FFT — a strided butterfly kernel for the §2.2 limit study.
+//!
+//! The paper uses an FFT kernel only in the reuse-driven execution
+//! experiment, where it is the one program the technique does *not* help
+//! (evadable reuses grew by 6%). What matters for that result is the access
+//! structure: log₂ N stages, each sweeping the whole array with a
+//! different power-of-two stride, with dependence chains that cross the
+//! array globally — no reordering can keep working sets small.
+//!
+//! The kernel is generated at a *concrete* power-of-two size (per-stage
+//! strides are constants, which the paper's `i + k` subscript model
+//! requires), without the bit-reversal permutation (not expressible as
+//! `i + k`, and irrelevant to the reuse pattern). Programs generated for
+//! two sizes share their leading stages, so statement/reference ids line
+//! up for the evadable-reuse comparison.
+
+use gcr_frontend::parse;
+use gcr_ir::Program;
+use std::fmt::Write;
+
+/// Generates the LoopLang source for size `n` (a power of two).
+pub fn source(n: u32) -> String {
+    assert!(n.is_power_of_two() && n >= 4, "size must be a power of two >= 4");
+    let mut s = String::new();
+    let _ = writeln!(s, "program fft{n}");
+    let _ = writeln!(s, "array RE[{n}], IM[{n}], WR[{n}], WI[{n}]\n");
+    // Bit-reversal permutation, unrolled to constant subscripts (the global
+    // scatter that defeats execution reordering in real FFTs). Only swaps
+    // with rev(i) > i, like the standard in-place loop; swaps go through
+    // the twiddle arrays' scratch tails to stay in the two-array model.
+    let bits = n.trailing_zeros();
+    let _ = writeln!(s, "// bit-reversal permutation");
+    for i in 0..n {
+        let r = i.reverse_bits() >> (32 - bits);
+        if r > i {
+            let (a, b) = (i + 1, r + 1); // 1-based
+            let _ = writeln!(s, "WR[{a}] = RE[{a}]");
+            let _ = writeln!(s, "RE[{a}] = RE[{b}]");
+            let _ = writeln!(s, "RE[{b}] = WR[{a}]");
+            let _ = writeln!(s, "WI[{a}] = IM[{a}]");
+            let _ = writeln!(s, "IM[{a}] = IM[{b}]");
+            let _ = writeln!(s, "IM[{b}] = WI[{a}]");
+        }
+    }
+    let mut h = 1u32;
+    while h < n {
+        let _ = writeln!(s, "// stage with butterfly span {h}");
+        let _ = writeln!(s, "for i = 1, {} {{", n - h);
+        let _ = writeln!(
+            s,
+            "  RE[i] = RE[i] + WR[i] * RE[i+{h}] - WI[i] * IM[i+{h}]"
+        );
+        let _ = writeln!(
+            s,
+            "  IM[i] = IM[i] + WR[i] * IM[i+{h}] + WI[i] * RE[i+{h}]"
+        );
+        let _ = writeln!(s, "  RE[i+{h}] = 0.5 * (RE[i] - RE[i+{h}])");
+        let _ = writeln!(s, "  IM[i+{h}] = 0.5 * (IM[i] - IM[i+{h}])");
+        s.push_str("}\n");
+        h *= 2;
+    }
+    s
+}
+
+/// Parses the kernel at size `n`.
+pub fn program(n: u32) -> Program {
+    parse(&source(n)).expect("FFT source parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_count_is_log2() {
+        let p = program(64);
+        assert_eq!(p.count_nests(), 6);
+        // 24 butterfly statements + 6 per bit-reversal swap.
+        let swaps = (0u32..64).filter(|&i| (i.reverse_bits() >> 26) > i).count();
+        assert_eq!(p.count_assigns(), 24 + 6 * swaps);
+        gcr_ir::validate::validate(&p).unwrap();
+    }
+
+    #[test]
+    fn runs_and_stays_finite() {
+        let p = program(64);
+        let mut m = gcr_exec::Machine::new(&p, gcr_ir::ParamBinding::new(vec![]));
+        m.run(&mut gcr_exec::NullSink);
+        assert!(m.checksum().is_finite());
+        let swaps = (0u32..64).filter(|&i| (i.reverse_bits() >> 26) > i).count() as u64;
+        assert_eq!(m.stats().instances, {
+            // 4 statements per butterfly iteration plus 6 per reversal swap.
+            let mut t = 6 * swaps;
+            let mut h = 1;
+            while h < 64 {
+                t += 4 * (64 - h);
+                h *= 2;
+            }
+            t
+        });
+    }
+}

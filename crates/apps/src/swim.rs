@@ -1,0 +1,137 @@
+//! Swim — SPEC95 shallow-water kernel.
+//!
+//! 14 global arrays and the three classic phases (flux computation, new
+//! values, time smoothing) with periodic-boundary copy statements between
+//! them. The inner-dimension boundary copies (`CU[1,i] = CU[N,i]`) read the
+//! last element each column sweep writes — the situation that forces the
+//! paper's *loop splitting* ("only one program (Swim) required splitting"):
+//! fusion must peel the first iteration of the consuming loop. One
+//! outer-dimension boundary loop is kept (real Swim wraps both dimensions),
+//! which limits how far fusion reaches — matching the paper's modest 10%
+//! gain on this program.
+
+use gcr_frontend::parse;
+use gcr_ir::Program;
+
+/// LoopLang source of the kernel.
+pub fn source() -> &'static str {
+    "
+program swim
+param N
+array U[N, N], V[N, N], P[N, N], UNEW[N, N], VNEW[N, N], PNEW[N, N]
+array UOLD[N, N], VOLD[N, N], POLD[N, N], CU[N, N], CV[N, N], Z[N, N], H[N, N], PSI[N, N]
+
+// --- calc1: fluxes and potential vorticity ---
+for i = 2, N {
+  for j = 2, N {
+    CU[j, i] = 0.5 * (P[j, i] + P[j-1, i]) * U[j, i]
+    CV[j, i] = 0.5 * (P[j, i] + P[j, i-1]) * V[j, i]
+    Z[j, i] = (0.25 * (V[j, i] - V[j-1, i]) - 0.25 * (U[j, i] - U[j, i-1])) / (P[j-1, i-1] + P[j, i-1] + P[j-1, i] + P[j, i])
+    H[j, i] = P[j, i] + 0.25 * (U[j, i] * U[j, i] + V[j, i] * V[j, i])
+  }
+}
+// periodic boundary along the inner dimension
+for i = 2, N {
+  CU[1, i] = CU[N, i]
+  Z[1, i] = Z[N, i]
+  H[1, i] = H[N, i]
+  CV[1, i] = CV[N, i]
+}
+// --- calc2: new velocity and pressure fields ---
+for i = 2, N {
+  for j = 2, N {
+    UNEW[j, i] = 0.9 * UOLD[j, i] + 0.1 * Z[j, i] * (CV[j, i] + CV[j-1, i]) - 0.05 * (H[j, i] - H[j-1, i])
+    VNEW[j, i] = 0.9 * VOLD[j, i] - 0.1 * Z[j, i] * (CU[j, i] + CU[j, i-1]) - 0.05 * (H[j, i] - H[j, i-1])
+    PNEW[j, i] = 0.9 * POLD[j, i] - 0.05 * (CU[j, i] - CU[j-1, i]) - 0.05 * (CV[j, i] - CV[j, i-1])
+  }
+}
+for i = 2, N {
+  UNEW[1, i] = UNEW[N, i]
+  VNEW[1, i] = VNEW[N, i]
+  PNEW[1, i] = PNEW[N, i]
+}
+// --- calc3a: time smoothing of the old fields ---
+for i = 2, N {
+  for j = 2, N {
+    UOLD[j, i] = 0.8 * U[j, i] + 0.1 * (UNEW[j, i] + UOLD[j, i])
+    VOLD[j, i] = 0.8 * V[j, i] + 0.1 * (VNEW[j, i] + VOLD[j, i])
+    POLD[j, i] = 0.8 * P[j, i] + 0.1 * (PNEW[j, i] + POLD[j, i])
+  }
+}
+// --- calc3b: roll the new fields into the current ones ---
+for i = 2, N {
+  for j = 2, N {
+    U[j, i] = UNEW[j, i]
+    V[j, i] = VNEW[j, i]
+    P[j, i] = 0.5 * PNEW[j, i] + 0.5
+  }
+}
+// periodic boundary along the outer dimension (wraps whole rows; its
+// transposed orientation is a fusion barrier, as in real Swim)
+for j = 2, N {
+  U[j, 1] = U[j, N]
+  V[j, 1] = V[j, N]
+  P[j, 1] = P[j, N]
+}
+// --- stream function diagnostic ---
+for i = 2, N {
+  for j = 2, N {
+    PSI[j, i] = 0.25 * (U[j, i] + V[j, i]) + 0.5 * PSI[j, i]
+  }
+}
+"
+}
+
+/// Parses the kernel.
+pub fn program() -> Program {
+    parse(source()).expect("Swim source parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_analysis::stats::program_stats;
+
+    #[test]
+    fn matches_figure9_shape() {
+        let st = program_stats(&program());
+        assert_eq!(st.arrays, 14, "Figure 9: 14 arrays (paper lists 15 incl. a constants block)");
+        assert_eq!(st.nests, 8, "Figure 9: 8 loop nests");
+        assert_eq!(st.min_depth, 1);
+        assert_eq!(st.max_depth, 2);
+    }
+
+    #[test]
+    fn fusion_requires_peeling() {
+        let mut p = program();
+        let rep = gcr_core::fuse_program(&mut p, &gcr_core::FusionOptions::default());
+        assert!(rep.total_fused() >= 1, "{rep:?}");
+        assert!(rep.peeled >= 1, "Swim is the program that needs splitting: {rep:?}");
+        // The transposed boundary loop stays a barrier.
+        assert!(p.count_nests() >= 2, "{}", gcr_ir::print::print_program(&p));
+    }
+
+    #[test]
+    fn fusion_preserves_swim_semantics() {
+        let orig = program();
+        let mut fused = orig.clone();
+        gcr_core::fuse_program(&mut fused, &gcr_core::FusionOptions::default());
+        let bind = gcr_ir::ParamBinding::new(vec![16]);
+        let mut m1 = gcr_exec::Machine::new(&orig, bind.clone());
+        m1.run_steps(&mut gcr_exec::NullSink, 2);
+        let mut m2 = gcr_exec::Machine::new(&fused, bind);
+        m2.run_steps(&mut gcr_exec::NullSink, 2);
+        for ai in 0..orig.arrays.len() {
+            let a = gcr_ir::ArrayId::from_index(ai);
+            let (v1, v2) = (m1.read_array(a), m2.read_array(a));
+            for (k, (x, y)) in v1.iter().zip(&v2).enumerate() {
+                assert!(
+                    (x - y).abs() <= 1e-9 * x.abs().max(1.0),
+                    "array {} elem {k}: {x} vs {y}\n{}",
+                    orig.arrays[ai].name,
+                    gcr_ir::print::print_program(&fused),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Microbenchmarks of the measurement substrates: reuse-distance analysis,
+//! cache simulation, and the interpreter, in accesses per second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gcr_cache::{CacheConfig, MemoryHierarchy, Tlb};
+use gcr_exec::{Machine, NullSink};
+use gcr_ir::ParamBinding;
+use gcr_reuse::distance::ReuseDistanceAnalyzer;
+use std::hint::black_box;
+
+/// Deterministic pseudo-random address stream with a working-set mix.
+fn addr_stream(n: usize) -> Vec<u64> {
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    (0..n)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // 3/4 sequential within a 1 MB region, 1/4 random far.
+            if i % 4 != 0 {
+                ((i as u64) * 8) % (1 << 20)
+            } else {
+                (x % (1 << 28)) & !7
+            }
+        })
+        .collect()
+}
+
+fn bench_reuse_distance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reuse_distance");
+    let n = 200_000usize;
+    let addrs = addr_stream(n);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("analyzer", |b| {
+        b.iter(|| {
+            let mut a = ReuseDistanceAnalyzer::new(8);
+            let mut sum = 0u64;
+            for &x in &addrs {
+                if let Some(d) = a.access(x) {
+                    sum = sum.wrapping_add(d);
+                }
+            }
+            black_box(sum)
+        });
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_sim");
+    let n = 500_000usize;
+    let addrs = addr_stream(n);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("hierarchy", |b| {
+        b.iter(|| {
+            let mut h = MemoryHierarchy::new(
+                CacheConfig::l1_mips(),
+                CacheConfig::l2_octane(),
+                Tlb::mips_r10k(),
+            );
+            for &x in &addrs {
+                h.access(x);
+            }
+            black_box(h.counts().l2)
+        });
+    });
+    g.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interpreter");
+    for (name, prog, n) in [
+        ("adi", gcr_apps::adi::program(), 128i64),
+        ("swim", gcr_apps::swim::program(), 64),
+    ] {
+        g.bench_with_input(BenchmarkId::new("run", name), &n, |b, &n| {
+            let mut m = Machine::new(&prog, ParamBinding::new(vec![n]));
+            b.iter(|| {
+                m.run(&mut NullSink);
+                black_box(m.stats().instances)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reuse_distance, bench_cache, bench_interpreter);
+criterion_main!(benches);

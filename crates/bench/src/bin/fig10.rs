@@ -1,0 +1,84 @@
+//! Figure 10 — "Effect of Transformations".
+//!
+//! For each application, measures execution time (modeled cycles) and L1,
+//! L2 and TLB miss counts for: the original program, fusion only, and
+//! fusion + data regrouping; SP additionally gets the one-level-fusion bar.
+//! Values are printed normalized to the original (the paper's bars) along
+//! with absolute counts and the original miss rates.
+//!
+//! Usage: `fig10 [--size-scale F] [--steps K] [--ablation] [--app NAME]`
+
+use gcr_bench::{fig10_strategies, measure_strategy, print_table, STEPS};
+use gcr_core::pipeline::Strategy;
+use gcr_core::regroup::RegroupLevel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    };
+    let scale: f64 = get("--size-scale").map(|s| s.parse().unwrap()).unwrap_or(1.0);
+    let steps: usize = get("--steps").map(|s| s.parse().unwrap()).unwrap_or(STEPS);
+    let ablation = args.iter().any(|a| a == "--ablation");
+    let only = get("--app");
+
+    for app in gcr_apps::evaluation_apps() {
+        if let Some(name) = &only {
+            if !app.name.eq_ignore_ascii_case(name) {
+                continue;
+            }
+        }
+        let size = ((app.default_size as f64 * scale) as i64).max(8);
+        let mut strategies = fig10_strategies(app.name);
+        if ablation {
+            strategies.push(Strategy::RegroupOnly);
+            strategies.push(Strategy::FusionNoAlign { levels: 3 });
+            strategies.push(Strategy::FusionRegroup {
+                levels: 3,
+                regroup: RegroupLevel::ElementOnly,
+            });
+            strategies.push(Strategy::FusionRegroup {
+                levels: 3,
+                regroup: RegroupLevel::AvoidInnermost,
+            });
+        }
+        let measurements: Vec<_> = strategies
+            .iter()
+            .map(|&s| measure_strategy(&app, s, size, steps))
+            .collect();
+        let base = &measurements[0];
+        let mut rows = Vec::new();
+        for m in &measurements {
+            let r = m.rel(base);
+            rows.push(vec![
+                m.label.clone(),
+                format!("{:.3}", r[0]),
+                format!("{:.3}", r[1]),
+                format!("{:.3}", r[2]),
+                format!("{:.3}", r[3]),
+                format!("{:.2e}", m.cycles),
+                format!("{:.1}", m.mflops()),
+                m.misses.l1.to_string(),
+                m.misses.l2.to_string(),
+                m.misses.tlb.to_string(),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Figure 10: {} {}x (paper size {}), {} steps; original miss rates: L1 {:.2}% L2 {:.3}% TLB {:.4}%",
+                app.name,
+                size,
+                app.paper_size,
+                steps,
+                100.0 * base.misses.l1_rate(),
+                100.0 * base.misses.l2_rate(),
+                100.0 * base.misses.tlb_rate(),
+            ),
+            &[
+                "version", "time", "L1", "L2", "TLB", "cycles", "Mf/s", "L1 abs", "L2 abs",
+                "TLB abs",
+            ],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 3 — "Effect of reuse-driven execution".
+//!
+//! Reuse-distance histograms (log₂ bins, counts in thousands) for ADI at
+//! 50² and 100² and SP at 14³ and 28³, comparing program order against
+//! reuse-driven execution; the SP 28³ plot adds the third curve of the
+//! paper, reuse-based fusion. The headline feature to look for is the
+//! "elevated hills" at large distances in program order that shrink or
+//! move left under reuse-driven execution, and how the hills move right as
+//! the input grows (the evadable reuses).
+//!
+//! Usage: `fig3 [--quick]`
+
+use gcr_bench::{capture_trace, render_histogram};
+use gcr_core::{fuse_program, FusionOptions};
+use gcr_ir::ParamBinding;
+use gcr_reuse::driven::{measure_order, measure_program_order, reuse_driven_order};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let adi_sizes: &[i64] = if quick { &[26, 50] } else { &[50, 100] };
+    let sp_sizes: &[i64] = if quick { &[8, 14] } else { &[14, 28] };
+
+    for &n in adi_sizes {
+        let prog = gcr_apps::adi::program();
+        plot(&format!("ADI, {n}x{n}"), &prog, ParamBinding::new(vec![n]), false);
+    }
+    for &n in sp_sizes {
+        let prog = gcr_apps::sp::program();
+        let with_fusion = n == *sp_sizes.last().unwrap();
+        plot(&format!("NAS/SP, {n}x{n}x{n}"), &prog, ParamBinding::new(vec![n]), with_fusion);
+    }
+}
+
+fn plot(name: &str, prog: &gcr_ir::Program, bind: ParamBinding, with_fusion: bool) {
+    let trace = capture_trace(prog, bind.clone());
+    let (h_prog, _) = measure_program_order(&trace);
+    let order = reuse_driven_order(&trace);
+    let (h_driven, _) = measure_order(&trace, &order);
+    if with_fusion {
+        // Third curve: reuse-based fusion (source-level), program order.
+        let mut fused = prog.clone();
+        let opt = gcr_core::pipeline::OptimizeOptions::default();
+        let mut f = fused.clone();
+        gcr_core::prelim::preliminary(&mut f, opt.small_dim_limit);
+        fuse_program(&mut f, &FusionOptions::default());
+        fused = f;
+        let ftrace = capture_trace(&fused, bind);
+        let (h_fused, _) = measure_program_order(&ftrace);
+        render_histogram(
+            name,
+            &[
+                ("program order", &h_prog),
+                ("reuse-fusion", &h_fused),
+                ("reuse-driven", &h_driven),
+            ],
+        );
+    } else {
+        render_histogram(name, &[("program order", &h_prog), ("reuse-driven", &h_driven)]);
+    }
+}

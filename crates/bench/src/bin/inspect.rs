@@ -1,0 +1,50 @@
+//! Inspect a transformed benchmark application.
+//!
+//! Usage: `inspect <Swim|Tomcatv|ADI|SP> [levels] [--skeleton]`
+//!
+//! Prints the program after preliminary passes + `levels`-deep fusion
+//! (default 3); `--skeleton` shows only loop headers and guards, which is
+//! the quickest way to see the fused structure.
+
+use gcr_core::pipeline::{apply_strategy, Strategy};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app = args.get(1).map(|s| s.as_str()).unwrap_or("SP");
+    let levels: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let skeleton = args.iter().any(|a| a == "--skeleton");
+    let prog = match app.to_ascii_lowercase().as_str() {
+        "sp" => gcr_apps::sp::program(),
+        "adi" => gcr_apps::adi::program(),
+        "swim" => gcr_apps::swim::program(),
+        "tomcatv" => gcr_apps::tomcatv::program(),
+        other => {
+            eprintln!("unknown app `{other}` (Swim|Tomcatv|ADI|SP)");
+            std::process::exit(1);
+        }
+    };
+    let opt = apply_strategy(&prog, Strategy::FusionOnly { levels });
+    let text = gcr_ir::print::print_program(&opt.program);
+    // Write via a locked handle and ignore broken pipes (e.g. `| head`).
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in text.lines() {
+        let t = line.trim_start();
+        if skeleton && !(t.starts_with("for ") || t.starts_with("when") || t.starts_with('}')) {
+            continue;
+        }
+        let shown = if skeleton && t.starts_with("when") {
+            match line.rfind("] ") {
+                Some(i) => &line[..=i],
+                None => line,
+            }
+        } else {
+            line
+        };
+        if writeln!(out, "{shown}").is_err() {
+            return;
+        }
+    }
+    let _ = writeln!(out, "// fused per level: {:?}", opt.fusion.fused);
+}

@@ -1,0 +1,211 @@
+//! Two-level cache hierarchy plus TLB, with a trace-sink adapter.
+//!
+//! Mirrors how the paper's hardware counters see memory: the TLB observes
+//! every reference; L2 observes L1 misses (miss counts, like the R10K/R12K
+//! event counters).
+
+use crate::sim::{Cache, CacheConfig, Tlb};
+use gcr_exec::{AccessEvent, TraceSink};
+
+/// Miss counters of one simulated run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MissCounts {
+    /// Total memory references observed.
+    pub refs: u64,
+    /// L1 misses.
+    pub l1: u64,
+    /// L2 misses (among L1 misses).
+    pub l2: u64,
+    /// TLB misses.
+    pub tlb: u64,
+    /// Bytes transferred between L2 and memory (fills + write-backs) — the
+    /// paper's "amount of data transferred".
+    pub memory_traffic: u64,
+}
+
+impl MissCounts {
+    /// L1 miss rate over all references.
+    pub fn l1_rate(&self) -> f64 {
+        ratio(self.l1, self.refs)
+    }
+
+    /// L2 miss rate over all references (paper reports global rates).
+    pub fn l2_rate(&self) -> f64 {
+        ratio(self.l2, self.refs)
+    }
+
+    /// TLB miss rate over all references.
+    pub fn tlb_rate(&self) -> f64 {
+        ratio(self.tlb, self.refs)
+    }
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+/// L1 + L2 + TLB.
+#[derive(Clone, Debug)]
+pub struct MemoryHierarchy {
+    /// First-level cache.
+    pub l1: Cache,
+    /// Second-level cache (sees L1 misses only).
+    pub l2: Cache,
+    /// Translation lookaside buffer (sees every reference).
+    pub tlb: Tlb,
+    counts: MissCounts,
+}
+
+impl MemoryHierarchy {
+    /// Builds a hierarchy.
+    pub fn new(l1: CacheConfig, l2: CacheConfig, tlb: Tlb) -> Self {
+        MemoryHierarchy { l1: Cache::new(l1), l2: Cache::new(l2), tlb, counts: MissCounts::default() }
+    }
+
+    /// The paper's Origin2000 (R12K): 32 KB L1, 4 MB L2, 64-entry TLB.
+    pub fn origin2000() -> Self {
+        Self::new(CacheConfig::l1_mips(), CacheConfig::l2_origin2000(), Tlb::mips_r10k())
+    }
+
+    /// The paper's Octane (R10K): 32 KB L1, 1 MB L2, 64-entry TLB.
+    pub fn octane() -> Self {
+        Self::new(CacheConfig::l1_mips(), CacheConfig::l2_octane(), Tlb::mips_r10k())
+    }
+
+    /// Origin2000 geometry shrunk for scaled problem sizes (line sizes and
+    /// associativity preserved). `l1_scale` shrinks L1 and the TLB page —
+    /// these track the *linear* problem dimension (how many grid rows fit)
+    /// — while `l2_scale` shrinks L2, which tracks the total data
+    /// footprint. TLB entry count is kept at 64.
+    pub fn origin2000_scaled(l1_scale: usize, l2_scale: usize) -> Self {
+        let page = ((16 << 10) / l1_scale.max(1)).next_power_of_two().clamp(256, 16 << 10);
+        Self::new(
+            CacheConfig::l1_mips().scaled(l1_scale),
+            CacheConfig::l2_origin2000().scaled(l2_scale),
+            Tlb::scaled(64, page),
+        )
+    }
+
+    /// Simulates one read reference.
+    #[inline]
+    pub fn access(&mut self, addr: u64) {
+        self.access_rw(addr, false);
+    }
+
+    /// Simulates one reference; stores dirty the caches for write-back
+    /// traffic accounting.
+    #[inline]
+    pub fn access_rw(&mut self, addr: u64, is_write: bool) {
+        self.counts.refs += 1;
+        if !self.tlb.access(addr) {
+            self.counts.tlb += 1;
+        }
+        if !self.l1.access_rw(addr, is_write) {
+            self.counts.l1 += 1;
+            if !self.l2.access_rw(addr, is_write) {
+                self.counts.l2 += 1;
+            }
+        }
+    }
+
+    /// Miss counters so far.
+    pub fn counts(&self) -> MissCounts {
+        let mut c = self.counts;
+        c.memory_traffic = self.l2.traffic_bytes();
+        c
+    }
+
+    /// Clears all state and counters.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+        self.tlb.reset();
+        self.counts = MissCounts::default();
+    }
+}
+
+/// `TraceSink` adapter: feed a [`MemoryHierarchy`] directly from the
+/// interpreter.
+pub struct HierarchySink {
+    /// The simulated hierarchy.
+    pub hierarchy: MemoryHierarchy,
+}
+
+impl HierarchySink {
+    /// Wraps a hierarchy.
+    pub fn new(hierarchy: MemoryHierarchy) -> Self {
+        HierarchySink { hierarchy }
+    }
+}
+
+impl TraceSink for HierarchySink {
+    #[inline]
+    fn access(&mut self, ev: &AccessEvent) {
+        self.hierarchy.access_rw(ev.addr, ev.is_write);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_sees_only_l1_misses() {
+        let mut h = MemoryHierarchy::new(
+            CacheConfig { size: 64, line: 32, assoc: 2 },
+            CacheConfig { size: 256, line: 32, assoc: 2 },
+            Tlb::new(4, 4096),
+        );
+        h.access(0); // L1 miss, L2 miss
+        h.access(0); // L1 hit
+        h.access(8); // L1 hit (same line)
+        let c = h.counts();
+        assert_eq!(c.refs, 3);
+        assert_eq!(c.l1, 1);
+        assert_eq!(c.l2, 1);
+        assert_eq!(h.l2.accesses(), 1, "L2 only saw the L1 miss");
+    }
+
+    #[test]
+    fn streaming_misses_at_line_granularity() {
+        let mut h = MemoryHierarchy::new(
+            CacheConfig { size: 1024, line: 32, assoc: 2 },
+            CacheConfig { size: 4096, line: 128, assoc: 2 },
+            Tlb::new(4, 4096),
+        );
+        // Stream 64 KB of doubles: every 4th access misses L1 (32 B lines),
+        // and of those every 4th misses L2 (128 B lines).
+        let n = 8192u64;
+        for i in 0..n {
+            h.access(i * 8);
+        }
+        let c = h.counts();
+        assert_eq!(c.l1, n / 4);
+        assert_eq!(c.l2, n / 16);
+        assert_eq!(c.tlb, n * 8 / 4096);
+        assert!((c.l1_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut h = MemoryHierarchy::origin2000_scaled(16, 64);
+        for i in 0..1000u64 {
+            h.access(i * 64);
+        }
+        assert!(h.counts().l1 > 0);
+        h.reset();
+        assert_eq!(h.counts(), MissCounts::default());
+    }
+
+    #[test]
+    fn presets_build() {
+        let o = MemoryHierarchy::origin2000();
+        assert_eq!(o.l2.config().size, 4 << 20);
+        let c = MemoryHierarchy::octane();
+        assert_eq!(c.l2.config().size, 1 << 20);
+    }
+}

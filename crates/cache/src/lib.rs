@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! `gcr-cache` — cache, TLB and cycle-time simulation.
+//!
+//! Stands in for the R10K/R12K hardware counters of the paper's evaluation
+//! (Section 4.2): set-associative LRU caches (L1 32 KB/32 B lines/2-way,
+//! L2 1–4 MB/128 B lines/2-way on the paper's machines), a fully
+//! associative LRU TLB, and a simple in-order cycle model that converts
+//! instruction, flop and miss counts into an "execution time".
+//!
+//! The experiment binaries scale problem sizes down from the paper's
+//! (513², 2K², class B) to keep simulated traces tractable, and scale the
+//! simulated caches with them so that the problem-size : cache-size
+//! geometry is preserved; [`CacheConfig::scaled`] produces those configs.
+
+pub mod cost;
+pub mod hierarchy;
+pub mod sim;
+
+pub use cost::CostModel;
+pub use hierarchy::{HierarchySink, MemoryHierarchy, MissCounts};
+pub use sim::{Cache, CacheConfig, Tlb};

@@ -1,0 +1,316 @@
+//! Set-associative LRU cache and TLB simulators.
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Line size in bytes (power of two).
+    pub line: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// The paper's L1: 32 KB, 32-byte lines, 2-way (both R10K and R12K).
+    pub fn l1_mips() -> Self {
+        CacheConfig { size: 32 << 10, line: 32, assoc: 2 }
+    }
+
+    /// The paper's Origin2000 L2: 4 MB, 128-byte lines, 2-way.
+    pub fn l2_origin2000() -> Self {
+        CacheConfig { size: 4 << 20, line: 128, assoc: 2 }
+    }
+
+    /// The paper's Octane L2: 1 MB, 128-byte lines, 2-way.
+    pub fn l2_octane() -> Self {
+        CacheConfig { size: 1 << 20, line: 128, assoc: 2 }
+    }
+
+    /// Shrinks capacity by `factor` (for scaled-down problem sizes),
+    /// keeping line size and associativity.
+    pub fn scaled(self, factor: usize) -> Self {
+        let size = (self.size / factor.max(1)).max(self.line * self.assoc);
+        CacheConfig { size, ..self }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.size / self.line / self.assoc).max(1)
+    }
+}
+
+/// A set-associative write-back, write-allocate cache with true LRU
+/// replacement and dirty-line tracking (for memory-traffic accounting —
+/// the paper's subject is bandwidth, i.e. *data transferred*).
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    line_shift: u32,
+    set_mask: u64,
+    /// Per set: `(tag, dirty)` ordered most-recently-used first.
+    sets: Vec<Vec<(u64, bool)>>,
+    /// Hit count.
+    pub hits: u64,
+    /// Miss count.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl Cache {
+    /// Builds an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.assoc >= 1);
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two (size {}/line {}/assoc {})",
+                cfg.size, cfg.line, cfg.assoc);
+        Cache {
+            cfg,
+            line_shift: cfg.line.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            sets: vec![Vec::with_capacity(cfg.assoc); sets],
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Simulates one read access; returns `true` on hit.
+    #[inline]
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.access_rw(addr, false)
+    }
+
+    /// Simulates one access; stores mark the line dirty. Returns `true` on
+    /// hit.
+    #[inline]
+    pub fn access_rw(&mut self, addr: u64, is_write: bool) -> bool {
+        let block = addr >> self.line_shift;
+        let set = &mut self.sets[(block & self.set_mask) as usize];
+        let tag = block >> self.set_mask.count_ones();
+        if let Some(pos) = set.iter().position(|&(t, _)| t == tag) {
+            // Move to MRU position.
+            set[..=pos].rotate_right(1);
+            set[0].1 |= is_write;
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.cfg.assoc {
+                if let Some((_, dirty)) = set.pop() {
+                    if dirty {
+                        self.writebacks += 1;
+                    }
+                }
+            }
+            set.insert(0, (tag, is_write));
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Bytes transferred from the next level: fills plus write-backs.
+    pub fn traffic_bytes(&self) -> u64 {
+        (self.misses + self.writebacks) * self.cfg.line as u64
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+}
+
+/// A fully associative LRU TLB.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    inner: Cache,
+    /// Page size in bytes.
+    pub page: usize,
+}
+
+impl Tlb {
+    /// Builds a TLB with `entries` entries of `page`-byte pages.
+    pub fn new(entries: usize, page: usize) -> Self {
+        Tlb {
+            inner: Cache::new(CacheConfig { size: entries * page, line: page, assoc: entries }),
+            page,
+        }
+    }
+
+    /// The paper's machines: 64-entry fully associative, 16 KB pages
+    /// (IRIX default page size on Origin2000/Octane).
+    pub fn mips_r10k() -> Self {
+        Tlb::new(64, 16 << 10)
+    }
+
+    /// Scaled-down TLB for scaled problem sizes.
+    pub fn scaled(entries: usize, page: usize) -> Self {
+        Tlb::new(entries, page)
+    }
+
+    /// Simulates one access; returns `true` on hit.
+    #[inline]
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.inner.access(addr)
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapped_conflict() {
+        // 2 sets, 1 way, 8-byte lines: addresses 0 and 16 collide.
+        let mut c = Cache::new(CacheConfig { size: 16, line: 8, assoc: 1 });
+        assert!(!c.access(0));
+        assert!(!c.access(16));
+        assert!(!c.access(0), "evicted by 16");
+        assert!(!c.access(8), "other set cold");
+        assert!(c.access(8));
+    }
+
+    #[test]
+    fn two_way_lru() {
+        // 1 set, 2 ways, 8-byte lines.
+        let mut c = Cache::new(CacheConfig { size: 16, line: 8, assoc: 2 });
+        c.access(0); // [0]
+        c.access(8); // [8,0]
+        assert!(c.access(0)); // [0,8]
+        c.access(16); // evicts 8 -> [16,0]
+        assert!(c.access(0));
+        assert!(!c.access(8), "8 was LRU-evicted");
+    }
+
+    #[test]
+    fn spatial_locality_within_line() {
+        let mut c = Cache::new(CacheConfig { size: 64, line: 32, assoc: 2 });
+        assert!(!c.access(0));
+        assert!(c.access(8));
+        assert!(c.access(24));
+        assert!(!c.access(32));
+    }
+
+    #[test]
+    fn lru_sweep_thrash() {
+        // Sweep of 2x capacity with LRU: every access misses on re-sweep.
+        let cfg = CacheConfig { size: 256, line: 8, assoc: 2 };
+        let mut c = Cache::new(cfg);
+        let lines = (2 * cfg.size / cfg.line) as u64;
+        for _ in 0..3 {
+            for i in 0..lines {
+                c.access(i * 8);
+            }
+        }
+        assert_eq!(c.hits, 0, "LRU provides no reuse under cyclic over-capacity sweep");
+    }
+
+    #[test]
+    fn fully_assoc_tlb_lru() {
+        let mut t = Tlb::new(2, 4096);
+        assert!(!t.access(0));
+        assert!(!t.access(4096));
+        assert!(t.access(100));
+        assert!(!t.access(3 * 4096));
+        assert!(!t.access(4097 + 4096), "page 1 evicted? no wait");
+        // page 1 (4096..8192) was MRU after access(4096); access(100) made
+        // page 0 MRU; access(3*4096) evicted page 1.
+        assert_eq!(t.misses(), 4);
+    }
+
+    #[test]
+    fn scaled_config_keeps_geometry() {
+        let c = CacheConfig::l2_origin2000().scaled(64);
+        assert_eq!(c.size, (4 << 20) / 64);
+        assert_eq!(c.line, 128);
+        assert_eq!(c.assoc, 2);
+        let _ = Cache::new(c);
+    }
+
+    #[test]
+    fn writebacks_only_for_dirty_lines() {
+        // 1 set, 1 way: every new line evicts the previous one.
+        let mut c = Cache::new(CacheConfig { size: 8, line: 8, assoc: 1 });
+        c.access_rw(0, false); // clean fill
+        c.access_rw(8, false); // evicts clean line: no write-back
+        assert_eq!(c.writebacks, 0);
+        c.access_rw(16, true); // dirty fill (evicts clean)
+        assert_eq!(c.writebacks, 0);
+        c.access_rw(24, false); // evicts dirty line
+        assert_eq!(c.writebacks, 1);
+        assert_eq!(c.traffic_bytes(), (4 + 1) * 8);
+    }
+
+    #[test]
+    fn dirty_bit_sticks_until_eviction() {
+        let mut c = Cache::new(CacheConfig { size: 16, line: 8, assoc: 2 });
+        c.access_rw(0, true);
+        c.access_rw(0, false); // read does not clean it
+        c.access_rw(8, false);
+        c.access_rw(16, false); // evicts LRU line 0 (dirty)
+        assert_eq!(c.writebacks, 1);
+    }
+
+    #[test]
+    fn streaming_write_traffic_doubles() {
+        // Write-streaming: every line filled once and written back once.
+        let cfg = CacheConfig { size: 64, line: 8, assoc: 2 };
+        let mut c = Cache::new(cfg);
+        for i in 0..64u64 {
+            c.access_rw(i * 8, true);
+        }
+        assert_eq!(c.misses, 64);
+        // All but the 8 resident lines written back so far.
+        assert_eq!(c.writebacks, 64 - 8);
+    }
+
+    #[test]
+    fn miss_rate_reported() {
+        let mut c = Cache::new(CacheConfig { size: 64, line: 8, assoc: 2 });
+        c.access(0);
+        c.access(0);
+        assert_eq!(c.miss_rate(), 0.5);
+        c.reset();
+        assert_eq!(c.accesses(), 0);
+    }
+}

@@ -1,0 +1,464 @@
+#![warn(missing_docs)]
+
+//! `gcrc` — the command-line driver for the global-cache-reuse optimizer.
+//!
+//! ```text
+//! gcrc program.loop                         # optimize and print the program
+//! gcrc program.loop --strategy fuse         # fusion only
+//! gcrc program.loop --report                # transformation statistics
+//! gcrc program.loop --simulate 257 --steps 3  # run through the cache simulator
+//! gcrc program.loop --reuse-hist 128        # reuse-distance histogram
+//! gcrc program.loop --stats                 # static program statistics
+//! ```
+//!
+//! The driver is a thin, testable layer over the library crates: parse →
+//! preliminary transformations → reuse-based loop fusion → multi-level data
+//! regrouping → (optionally) execute on the simulated memory hierarchy.
+
+use gcr_cache::{CostModel, HierarchySink, MemoryHierarchy};
+use gcr_core::pipeline::{apply_strategy, Strategy};
+use gcr_core::regroup::RegroupLevel;
+use gcr_exec::Machine;
+use gcr_ir::ParamBinding;
+use std::fmt::Write as _;
+
+/// Parsed command line.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Input path (or `-` reads stdin; tests pass source directly).
+    pub input: String,
+    /// Which program version to produce.
+    pub strategy: Strategy,
+    /// Print the transformed program text.
+    pub emit: bool,
+    /// Print transformation statistics.
+    pub report: bool,
+    /// Print static program statistics (Figure 9 style).
+    pub stats: bool,
+    /// Print per-loop data footprints of the *input* program.
+    pub footprints: bool,
+    /// Statically check array bounds of input and output programs.
+    pub check: bool,
+    /// Emit the data-sharing graph of the input program in Graphviz DOT.
+    pub dot: bool,
+    /// Simulate execution at this size parameter.
+    pub simulate: Option<i64>,
+    /// Time steps for simulation.
+    pub steps: usize,
+    /// Measure the reuse-distance histogram at this size.
+    pub reuse_hist: Option<i64>,
+    /// Print the predicted miss-ratio curve at this size.
+    pub mrc: Option<i64>,
+    /// Cache scale factors (L1/TLB, L2) for simulation.
+    pub cache_scale: (usize, usize),
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            input: String::new(),
+            strategy: Strategy::FusionRegroup { levels: 3, regroup: RegroupLevel::Multi },
+            emit: true,
+            report: false,
+            stats: false,
+            footprints: false,
+            check: false,
+            dot: false,
+            simulate: None,
+            steps: 1,
+            reuse_hist: None,
+            mrc: None,
+            cache_scale: (1, 1),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: gcrc <file.loop> [options]
+
+options:
+  --strategy <s>     original | sgi | fuse | fuse1 | fuse+group (default) | group
+  --no-emit          do not print the transformed program
+  --report           print transformation statistics
+  --stats            print static program statistics
+  --footprints       print per-loop data footprints of the input program
+  --check            statically check array bounds (input and output)
+  --dot              emit the input's data-sharing graph (Graphviz DOT)
+  --simulate <N>     execute at size N through the simulated memory hierarchy
+  --steps <K>        time steps for --simulate (default 1)
+  --cache-scale <a,b>  shrink L1/TLB by a and L2 by b during --simulate
+  --reuse-hist <N>   print the reuse-distance histogram at size N
+  --mrc <N>          print the predicted miss-ratio curve at size N
+";
+
+/// Parses the command line. Returns `Err` with a message (including usage)
+/// on bad input.
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter().peekable();
+    let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>, flag: &str| {
+        it.next().cloned().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--strategy" => {
+                o.strategy = match value(&mut it, "--strategy")?.as_str() {
+                    "original" => Strategy::Original,
+                    "sgi" => Strategy::Sgi,
+                    "fuse" => Strategy::FusionOnly { levels: 3 },
+                    "fuse1" => Strategy::FusionOnly { levels: 1 },
+                    "fuse+group" => {
+                        Strategy::FusionRegroup { levels: 3, regroup: RegroupLevel::Multi }
+                    }
+                    "group" => Strategy::RegroupOnly,
+                    other => return Err(format!("unknown strategy `{other}`\n{USAGE}")),
+                };
+            }
+            "--no-emit" => o.emit = false,
+            "--report" => o.report = true,
+            "--stats" => o.stats = true,
+            "--footprints" => o.footprints = true,
+            "--check" => o.check = true,
+            "--dot" => o.dot = true,
+            "--simulate" => {
+                o.simulate = Some(
+                    value(&mut it, "--simulate")?
+                        .parse()
+                        .map_err(|e| format!("bad --simulate value: {e}"))?,
+                )
+            }
+            "--steps" => {
+                o.steps = value(&mut it, "--steps")?
+                    .parse()
+                    .map_err(|e| format!("bad --steps value: {e}"))?
+            }
+            "--cache-scale" => {
+                let v = value(&mut it, "--cache-scale")?;
+                let (a, b) = v
+                    .split_once(',')
+                    .ok_or_else(|| "cache-scale wants `a,b`".to_string())?;
+                o.cache_scale = (
+                    a.parse().map_err(|e| format!("bad cache scale: {e}"))?,
+                    b.parse().map_err(|e| format!("bad cache scale: {e}"))?,
+                );
+            }
+            "--reuse-hist" => {
+                o.reuse_hist = Some(
+                    value(&mut it, "--reuse-hist")?
+                        .parse()
+                        .map_err(|e| format!("bad --reuse-hist value: {e}"))?,
+                )
+            }
+            "--mrc" => {
+                o.mrc = Some(
+                    value(&mut it, "--mrc")?
+                        .parse()
+                        .map_err(|e| format!("bad --mrc value: {e}"))?,
+                )
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "-" => {
+                if !o.input.is_empty() {
+                    return Err(format!("multiple input files\n{USAGE}"));
+                }
+                o.input = "-".to_string();
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option `{flag}`\n{USAGE}"))
+            }
+            path => {
+                if !o.input.is_empty() {
+                    return Err(format!("multiple input files\n{USAGE}"));
+                }
+                o.input = path.to_string();
+            }
+        }
+    }
+    if o.input.is_empty() {
+        return Err(format!("no input file\n{USAGE}"));
+    }
+    Ok(o)
+}
+
+/// Runs the driver over already-loaded source text, returning the output.
+pub fn run_source(src: &str, o: &Options) -> Result<String, String> {
+    let prog = gcr_frontend::parse(src).map_err(|e| format!("parse error: {e}"))?;
+    let mut out = String::new();
+    if o.stats {
+        let st = gcr_analysis::stats::program_stats(&prog);
+        let _ = writeln!(
+            out,
+            "program {}: {} lines, {} loops in {} nests (depth {}-{}), {} arrays, {} scalars",
+            st.name, st.lines, st.loops, st.nests, st.min_depth, st.max_depth, st.arrays, st.scalars
+        );
+    }
+    if o.footprints {
+        let _ = write!(out, "{}", gcr_analysis::summary::render_footprints(&prog));
+    }
+    if o.dot {
+        let _ = write!(out, "{}", gcr_analysis::graph::render_dot(&prog));
+    }
+    let opt = apply_strategy(&prog, o.strategy);
+    if o.check {
+        for (which, p) in [("input", &prog), ("output", &opt.program)] {
+            let issues = gcr_analysis::bounds::check_bounds(p);
+            if issues.is_empty() {
+                let _ = writeln!(out, "bounds check ({which}): ok");
+            } else {
+                for i in &issues {
+                    let _ = writeln!(out, "bounds check ({which}): {i}");
+                }
+            }
+        }
+    }
+    if o.emit {
+        let _ = write!(out, "{}", gcr_ir::print::print_program(&opt.program));
+    }
+    if o.report {
+        let f = &opt.fusion;
+        let _ = writeln!(
+            out,
+            "prelim: {} loops unrolled, {} arrays from splitting, {} loops from distribution",
+            opt.prelim.unrolled, opt.prelim.split_arrays, opt.prelim.distributed
+        );
+        let _ = writeln!(
+            out,
+            "fusion: {:?} -> {:?} loops per level; {} fused, {} embedded, {} peeled",
+            f.loops_before,
+            f.loops_after,
+            f.total_fused(),
+            f.embedded,
+            f.peeled
+        );
+        if !f.infusible.is_empty() {
+            let _ = writeln!(out, "infusible: {}", f.infusible.join("; "));
+        }
+        if opt.plan.is_some() {
+            let _ = writeln!(
+                out,
+                "regrouping: {} arrays -> {} allocations",
+                opt.regroup.arrays, opt.regroup.allocations
+            );
+            for (names, _) in &opt.regroup.groups {
+                let _ = writeln!(out, "  group: {}", names.join(", "));
+            }
+        }
+    }
+    if let Some(n) = o.simulate {
+        let bind = binding_for(&prog, n)?;
+        let layout = opt.layout(&bind);
+        let mut m = Machine::with_layout(&opt.program, bind, layout);
+        let mut sink = HierarchySink::new(MemoryHierarchy::origin2000_scaled(
+            o.cache_scale.0,
+            o.cache_scale.1,
+        ));
+        m.run_steps(&mut sink, o.steps);
+        let c = sink.hierarchy.counts();
+        let cycles = CostModel::default().cycles(&m.stats(), &c);
+        let _ = writeln!(
+            out,
+            "simulate N={n} x{}: {} refs, L1 miss {} ({:.2}%), L2 miss {}, TLB miss {}, \
+             traffic {} KB, {:.3e} cycles",
+            o.steps,
+            c.refs,
+            c.l1,
+            100.0 * c.l1_rate(),
+            c.l2,
+            c.tlb,
+            c.memory_traffic / 1024,
+            cycles
+        );
+    }
+    if let Some(n) = o.reuse_hist {
+        let bind = binding_for(&prog, n)?;
+        let layout = opt.layout(&bind);
+        let mut m = Machine::with_layout(&opt.program, bind, layout);
+        let mut sink = gcr_reuse::DistanceSink::elements();
+        m.run(&mut sink);
+        let h = &sink.analyzer.hist;
+        let _ = writeln!(out, "reuse distances at N={n} (log2 bins):");
+        for (bin, count) in h.points() {
+            let _ = writeln!(out, "  2^{bin:<2} {count}");
+        }
+        let _ = writeln!(out, "  cold {}", h.cold);
+    }
+    if let Some(n) = o.mrc {
+        let bind = binding_for(&prog, n)?;
+        let layout = opt.layout(&bind);
+        let mut m = Machine::with_layout(&opt.program, bind, layout);
+        let mut sink = gcr_reuse::DistanceSink::elements();
+        m.run(&mut sink);
+        let _ = writeln!(
+            out,
+            "predicted miss ratio by cache capacity (fully associative LRU, elements):"
+        );
+        for (cap, ratio) in gcr_reuse::miss_ratio_curve(&sink.analyzer.hist) {
+            let _ = writeln!(out, "  {:>10} {:>7.3}%", cap, 100.0 * ratio);
+        }
+    }
+    Ok(out)
+}
+
+fn binding_for(prog: &gcr_ir::Program, n: i64) -> Result<ParamBinding, String> {
+    match prog.params.len() {
+        0 => Ok(ParamBinding::new(vec![])),
+        1 => Ok(ParamBinding::new(vec![n])),
+        k => Ok(ParamBinding::new(vec![n; k])),
+    }
+}
+
+/// Entry point used by `main`: loads the file and runs.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let o = parse_args(args)?;
+    let src = if o.input == "-" {
+        use std::io::Read;
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).map_err(|e| e.to_string())?;
+        s
+    } else {
+        std::fs::read_to_string(&o.input).map_err(|e| format!("{}: {e}", o.input))?
+    };
+    run_source(&src, &o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+program demo
+param N
+array A[N], B[N]
+
+for i = 1, N {
+  A[i] = f(A[i])
+}
+for i = 1, N {
+  B[i] = g(A[i], B[i])
+}
+";
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = parse_args(&args(&[
+            "x.loop",
+            "--strategy",
+            "fuse",
+            "--report",
+            "--simulate",
+            "64",
+            "--steps",
+            "2",
+            "--cache-scale",
+            "4,16",
+        ]))
+        .unwrap();
+        assert_eq!(o.input, "x.loop");
+        assert_eq!(o.strategy, Strategy::FusionOnly { levels: 3 });
+        assert!(o.report);
+        assert_eq!(o.simulate, Some(64));
+        assert_eq!(o.steps, 2);
+        assert_eq!(o.cache_scale, (4, 16));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["a", "b"])).is_err());
+        assert!(parse_args(&args(&["a", "--strategy", "zap"])).is_err());
+        assert!(parse_args(&args(&["a", "--bogus"])).is_err());
+        assert!(parse_args(&args(&["a", "--simulate"])).is_err());
+    }
+
+    #[test]
+    fn emits_fused_program() {
+        let mut o = parse_args(&args(&["-", "--strategy", "fuse", "--report"])).unwrap();
+        o.input = "mem".into();
+        let out = run_source(SRC, &o).unwrap();
+        assert!(out.contains("for i = 1, N {"), "{out}");
+        assert!(out.contains("fusion: [2] -> [1] loops per level"), "{out}");
+    }
+
+    #[test]
+    fn simulates_and_reports_misses() {
+        let mut o = parse_args(&args(&["-", "--no-emit", "--simulate", "128"])).unwrap();
+        o.input = "mem".into();
+        let out = run_source(SRC, &o).unwrap();
+        assert!(out.contains("simulate N=128"), "{out}");
+        assert!(out.contains("L1 miss"), "{out}");
+    }
+
+    #[test]
+    fn reuse_histogram_output() {
+        let mut o = parse_args(&args(&["-", "--no-emit", "--reuse-hist", "64"])).unwrap();
+        o.input = "mem".into();
+        let out = run_source(SRC, &o).unwrap();
+        assert!(out.contains("reuse distances at N=64"), "{out}");
+        assert!(out.contains("cold"), "{out}");
+    }
+
+    #[test]
+    fn stats_line() {
+        let mut o = parse_args(&args(&["-", "--no-emit", "--stats"])).unwrap();
+        o.input = "mem".into();
+        let out = run_source(SRC, &o).unwrap();
+        assert!(out.contains("2 loops in 2 nests"), "{out}");
+    }
+
+    #[test]
+    fn dot_output() {
+        let mut o = parse_args(&args(&["-", "--no-emit", "--dot"])).unwrap();
+        o.input = "mem".into();
+        let out = run_source(SRC, &o).unwrap();
+        assert!(out.contains("digraph sharing"), "{out}");
+        assert!(out.contains("n0 -> n1"), "{out}");
+    }
+
+    #[test]
+    fn check_reports_bounds() {
+        let mut o = parse_args(&args(&["-", "--no-emit", "--check"])).unwrap();
+        o.input = "mem".into();
+        let out = run_source(SRC, &o).unwrap();
+        assert!(out.contains("bounds check (input): ok"), "{out}");
+        assert!(out.contains("bounds check (output): ok"), "{out}");
+        let bad = "
+program bad
+param N
+array A[N]
+for i = 1, N {
+  A[i+1] = 0.0
+}
+";
+        let out = run_source(bad, &o).unwrap();
+        assert!(out.contains("upper bound"), "{out}");
+    }
+
+    #[test]
+    fn footprints_output() {
+        let mut o = parse_args(&args(&["-", "--no-emit", "--footprints"])).unwrap();
+        o.input = "mem".into();
+        let out = run_source(SRC, &o).unwrap();
+        assert!(out.contains("loop [0]"), "{out}");
+        assert!(out.contains("rw"), "{out}");
+    }
+
+    #[test]
+    fn mrc_output() {
+        let mut o = parse_args(&args(&["-", "--no-emit", "--mrc", "64"])).unwrap();
+        o.input = "mem".into();
+        let out = run_source(SRC, &o).unwrap();
+        assert!(out.contains("predicted miss ratio"), "{out}");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let o = parse_args(&args(&["mem"])).unwrap();
+        let err = run_source("program x\nfor {", &o).unwrap_err();
+        assert!(err.contains("parse error"), "{err}");
+    }
+}

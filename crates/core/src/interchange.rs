@@ -1,0 +1,322 @@
+//! Loop interchange ("level ordering").
+//!
+//! The paper performed "level ordering (loop interchange) by hand" for
+//! Tomcatv so that all nests present the same loop level for fusion. This
+//! module automates the transformation for perfectly nested loop pairs:
+//! [`try_interchange`] swaps a nest when every dependence allows it, and
+//! [`orient_nests`] flips minority-oriented two-deep nests so that the
+//! outer level of every nest iterates the same data dimension — which is
+//! what level-by-level fusion needs.
+//!
+//! Legality is the classic direction-vector condition: interchange of a
+//! perfect pair is illegal iff some dependence is carried by the outer
+//! loop with a negative inner component (a `(<, >)` direction).
+
+use gcr_analysis::access::{collect_accesses, AccessInfo};
+use gcr_ir::{Loop, Program, Stmt, Subscript, VarId};
+
+/// Offsets of one reference with respect to an (outer, inner) variable
+/// pair; `None` when the variable does not appear.
+fn offsets(a: &AccessInfo, outer: VarId, inner: VarId) -> (Option<i64>, Option<i64>) {
+    let mut o = None;
+    let mut i = None;
+    for s in &a.aref.subs {
+        if let Subscript::Var { var, offset } = s {
+            if *var == outer {
+                o = Some(*offset);
+            } else if *var == inner {
+                i = Some(*offset);
+            }
+        }
+    }
+    (o, i)
+}
+
+/// Decides whether the perfect nest `outer { inner { … } }` may be
+/// interchanged: `true` iff no dependence has direction `(<, >)`.
+pub fn interchange_legal(outer: &Loop, inner: &Loop) -> bool {
+    let mut accs = Vec::new();
+    for gs in &inner.body {
+        if gs.guard.is_some() || !gs.outer.is_empty() {
+            return false; // guarded bodies arise only after fusion
+        }
+        collect_accesses(&gs.stmt, &mut accs);
+    }
+    for (x, a) in accs.iter().enumerate() {
+        for b in &accs[x..] {
+            if a.aref.array != b.aref.array || !a.kind.conflicts(b.kind) {
+                continue;
+            }
+            let (ao, ai) = offsets(a, outer.var, inner.var);
+            let (bo, bi) = offsets(b, outer.var, inner.var);
+            let (Some(ao), Some(ai), Some(bo), Some(bi)) = (ao, ai, bo, bi) else {
+                // A conflicting reference not indexed by both loops:
+                // conservative refusal.
+                if a.aref.subs.iter().zip(&b.aref.subs).any(|(x, y)| x != y) {
+                    return false;
+                }
+                continue;
+            };
+            // Same-element instances differ by v = (bo − ao, bi − ai);
+            // the dependence vector is v or −v, whichever is
+            // lexicographically non-negative.
+            let v = (bo - ao, bi - ai);
+            let d = if v > (0, i64::MIN) || (v.0 == 0 && v.1 >= 0) { v } else { (-v.0, -v.1) };
+            let d = if d.0 > 0 || (d.0 == 0 && d.1 >= 0) { d } else { (-d.0, -d.1) };
+            if d.0 > 0 && d.1 < 0 {
+                return false; // (<, >): interchange would reverse it
+            }
+        }
+    }
+    true
+}
+
+/// Attempts to interchange a two-deep perfect nest in place. Returns
+/// `true` on success. The statement must be a loop whose entire body is a
+/// single unguarded inner loop.
+pub fn try_interchange(stmt: &mut Stmt) -> bool {
+    let Stmt::Loop(outer) = stmt else { return false };
+    if outer.body.len() != 1 || outer.body[0].guard.is_some() || !outer.body[0].outer.is_empty() {
+        return false;
+    }
+    let Stmt::Loop(inner) = &outer.body[0].stmt else { return false };
+    if !interchange_legal(outer, inner) {
+        return false;
+    }
+    // Swap the loop headers; bodies and subscripts move untouched (each
+    // variable keeps its identity, only the nesting order changes).
+    let Stmt::Loop(inner_owned) = std::mem::replace(
+        &mut outer.body[0].stmt,
+        Stmt::Assign(placeholder()),
+    ) else {
+        unreachable!()
+    };
+    let new_inner = Loop {
+        var: outer.var,
+        lo: outer.lo.clone(),
+        hi: outer.hi.clone(),
+        body: inner_owned.body,
+    };
+    outer.var = inner_owned.var;
+    outer.lo = inner_owned.lo;
+    outer.hi = inner_owned.hi;
+    outer.body[0].stmt = Stmt::Loop(new_inner);
+    true
+}
+
+fn placeholder() -> gcr_ir::Assign {
+    gcr_ir::Assign {
+        id: gcr_ir::StmtId::from_index(0),
+        lhs: gcr_ir::ArrayRef {
+            id: gcr_ir::RefId::from_index(0),
+            array: gcr_ir::ArrayId::from_index(0),
+            subs: Vec::new(),
+        },
+        rhs: gcr_ir::Expr::Const(0.0),
+        kind: gcr_ir::AssignKind::Normal,
+    }
+}
+
+/// Which data dimension a nest's *outer* loop indexes (majority vote over
+/// its references), or `None` when mixed/unknown.
+fn outer_dim(l: &Loop) -> Option<usize> {
+    let mut accs = Vec::new();
+    collect_accesses(&Stmt::Loop(l.clone()), &mut accs);
+    let mut votes: Vec<usize> = Vec::new();
+    for a in &accs {
+        for (d, s) in a.aref.subs.iter().enumerate() {
+            if s.var_id() == Some(l.var) {
+                votes.push(d);
+            }
+        }
+    }
+    votes.sort_unstable();
+    votes.first().copied().and_then(|_| {
+        let mut best = (0usize, 0usize);
+        let mut k = 0;
+        while k < votes.len() {
+            let mut e = k;
+            while e < votes.len() && votes[e] == votes[k] {
+                e += 1;
+            }
+            if e - k > best.1 {
+                best = (votes[k], e - k);
+            }
+            k = e;
+        }
+        Some(best.0)
+    })
+}
+
+/// Re-orients two-deep nests so that every nest's outer loop indexes the
+/// majority data dimension (the paper's Tomcatv "level ordering" step).
+/// Returns the number of nests interchanged.
+pub fn orient_nests(prog: &mut Program) -> usize {
+    // Majority outer dimension over all two-deep nests.
+    let mut dims: Vec<usize> = Vec::new();
+    for gs in &prog.body {
+        if let Stmt::Loop(l) = &gs.stmt {
+            if let Some(d) = outer_dim(l) {
+                dims.push(d);
+            }
+        }
+    }
+    if dims.is_empty() {
+        return 0;
+    }
+    dims.sort_unstable();
+    let majority = {
+        let mut best = (dims[0], 0usize);
+        let mut k = 0;
+        while k < dims.len() {
+            let mut e = k;
+            while e < dims.len() && dims[e] == dims[k] {
+                e += 1;
+            }
+            if e - k > best.1 {
+                best = (dims[k], e - k);
+            }
+            k = e;
+        }
+        best.0
+    };
+    let mut flipped = 0;
+    for gs in &mut prog.body {
+        if let Stmt::Loop(l) = &gs.stmt {
+            if outer_dim(l) != Some(majority) && try_interchange(&mut gs.stmt) {
+                flipped += 1;
+            }
+        }
+    }
+    flipped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_exec::{Machine, NullSink};
+    use gcr_frontend::parse;
+    use gcr_ir::ParamBinding;
+
+    fn equivalent(a: &Program, b: &Program, n: i64) {
+        let mut m1 = Machine::new(a, ParamBinding::new(vec![n]));
+        m1.run_steps(&mut NullSink, 2);
+        let mut m2 = Machine::new(b, ParamBinding::new(vec![n]));
+        m2.run_steps(&mut NullSink, 2);
+        assert_eq!(m1.checksum(), m2.checksum());
+    }
+
+    #[test]
+    fn interchange_swaps_headers() {
+        let src = "
+program t
+param N
+array A[N, N]
+for i = 1, N {
+  for j = 2, N - 1 {
+    A[j, i] = f(A[j, i])
+  }
+}
+";
+        let orig = parse(src).unwrap();
+        let mut p = orig.clone();
+        assert!(try_interchange(&mut p.body[0].stmt));
+        let outer = p.body[0].stmt.as_loop().unwrap();
+        assert_eq!(p.var(outer.var).name, "j");
+        assert_eq!(outer.lo.as_const(), Some(2));
+        gcr_ir::validate::validate(&p).unwrap();
+        equivalent(&orig, &p, 8);
+    }
+
+    #[test]
+    fn negative_inner_dependence_blocks_interchange() {
+        // Dependence vector (1, -1): carried by i, backward on j —
+        // interchange would reverse it.
+        let src = "
+program t
+param N
+array A[N, N]
+for i = 2, N - 1 {
+  for j = 2, N - 1 {
+    A[j, i] = f(A[j+1, i-1])
+  }
+}
+";
+        let mut p = parse(src).unwrap();
+        assert!(!try_interchange(&mut p.body[0].stmt));
+    }
+
+    #[test]
+    fn forward_dependences_allow_interchange() {
+        // Dependence vector (1, 1): stays lexicographically positive.
+        let src = "
+program t
+param N
+array A[N, N]
+for i = 2, N - 1 {
+  for j = 2, N - 1 {
+    A[j, i] = f(A[j-1, i-1])
+  }
+}
+";
+        let orig = parse(src).unwrap();
+        let mut p = orig.clone();
+        assert!(try_interchange(&mut p.body[0].stmt));
+        equivalent(&orig, &p, 10);
+    }
+
+    #[test]
+    fn imperfect_nest_refused() {
+        let src = "
+program t
+param N
+array A[N, N], B[N]
+for i = 1, N {
+  B[i] = f(B[i])
+  for j = 1, N {
+    A[j, i] = f(A[j, i])
+  }
+}
+";
+        let mut p = parse(src).unwrap();
+        assert!(!try_interchange(&mut p.body[0].stmt));
+    }
+
+    #[test]
+    fn orient_flips_the_transposed_nest() {
+        // Two nests iterate dim 1 outermost; one is transposed. After
+        // orientation all three match and fusion merges them.
+        let src = "
+program t
+param N
+array A[N, N], B[N, N]
+for i = 1, N {
+  for j = 1, N {
+    A[j, i] = f(A[j, i])
+  }
+}
+for jj = 1, N {
+  for ii = 1, N {
+    B[jj, ii] = g(A[jj, ii], B[jj, ii])
+  }
+}
+for i2 = 1, N {
+  for j2 = 1, N {
+    A[j2, i2] = h(B[j2, i2])
+  }
+}
+";
+        let orig = parse(src).unwrap();
+        let mut p = orig.clone();
+        let flipped = orient_nests(&mut p);
+        assert_eq!(flipped, 1);
+        equivalent(&orig, &p, 9);
+        let rep = crate::fusion::fuse_program(&mut p, &crate::fusion::FusionOptions::default());
+        assert_eq!(rep.fused[0], 2, "{rep:?}");
+        assert_eq!(p.count_nests(), 1);
+        // Without orientation, the transposed nest is a fusion barrier.
+        let mut q = orig.clone();
+        let rep2 = crate::fusion::fuse_program(&mut q, &crate::fusion::FusionOptions::default());
+        assert!(q.count_nests() > 1, "{rep2:?}");
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! `gcr-core` — the paper's contribution: reuse-based loop fusion and
+//! multi-level data regrouping, plus the preliminary transformations and the
+//! SGI-like local-optimization baseline.
+//!
+//! The two-step global strategy (Ding & Kennedy, IPPS 2001):
+//!
+//! 1. **Fuse computations on the same data** ([`fusion`]) — greedy,
+//!    incremental loop fusion enabled by statement embedding, loop
+//!    alignment and boundary splitting, applied level by level. After
+//!    fusion, the reuse distances of fused accesses are bounded by a
+//!    constant independent of the input size.
+//! 2. **Group data used by the same computation** ([`mod@regroup`]) —
+//!    partition the program into computation phases and regroup arrays that
+//!    are always accessed together, dimension by dimension from the
+//!    outermost, emitting an interleaved [`gcr_exec::DataLayout`].
+//!
+//! [`prelim`] holds the Section 4.1 preliminary passes (loop distribution,
+//! array splitting + loop unrolling, constant folding); [`interchange`]
+//! automates the paper's hand "level ordering" (loop interchange);
+//! [`baseline`] the conservative fusion + padding stand-in for the SGI
+//! MIPSpro compiler; [`pipeline`] the end-to-end driver.
+
+pub mod baseline;
+pub mod fusion;
+pub mod interchange;
+pub mod pipeline;
+pub mod prelim;
+pub mod regroup;
+
+pub use fusion::{fuse_program, FusionOptions, FusionReport};
+pub use pipeline::{optimize, OptimizeOptions, OptimizedProgram};
+pub use regroup::{regroup, RegroupOptions, RegroupReport};

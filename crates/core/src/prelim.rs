@@ -1,0 +1,639 @@
+//! Preliminary transformations (Section 4.1).
+//!
+//! "An input program is processed by four preliminary transformations
+//! before applying loop fusion": procedure inlining (a no-op here — the
+//! kernels are single-procedure), **array splitting and loop unrolling**
+//! (eliminate data dimensions of small constant size and the loops that
+//! iterate them), **loop distribution**, and **constant propagation**
+//! (constant folding in our expression-level IR).
+
+use gcr_analysis::footprint::{var_ranges, VarRanges};
+use gcr_analysis::level::classify_level_refs;
+use gcr_ir::{
+    subst, ArrayDecl, ArrayId, BinOp, Expr, GuardedStmt, LinExpr, Loop, Program, Stmt, Subscript,
+    UnOp,
+};
+
+/// Statistics from the preliminary passes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrelimReport {
+    /// Additional loops created by distribution.
+    pub distributed: usize,
+    /// Loops unrolled away.
+    pub unrolled: usize,
+    /// Arrays added by splitting constant dimensions (new − removed).
+    pub split_arrays: usize,
+}
+
+/// Runs all preliminary passes in the paper's order: unrolling + splitting,
+/// then distribution, then constant folding.
+pub fn preliminary(prog: &mut Program, small_dim_limit: i64) -> PrelimReport {
+    let mut rep = PrelimReport::default();
+    rep.unrolled = unroll_const_loops(prog, small_dim_limit);
+    rep.split_arrays = split_const_dims(prog, small_dim_limit);
+    rep.distributed = distribute(prog);
+    fold_constants(prog);
+    rep
+}
+
+// --------------------------------------------------------------------------
+// Loop unrolling of small constant-trip loops
+// --------------------------------------------------------------------------
+
+/// Fully unrolls loops whose trip count is a constant ≤ `limit`. Returns the
+/// number of loops unrolled.
+pub fn unroll_const_loops(prog: &mut Program, limit: i64) -> usize {
+    let mut count = 0;
+    let mut body = std::mem::take(&mut prog.body);
+    unroll_list(&mut body, limit, &mut count);
+    prog.body = body;
+    count
+}
+
+fn unroll_list(stmts: &mut Vec<GuardedStmt>, limit: i64, count: &mut usize) {
+    let mut out = Vec::with_capacity(stmts.len());
+    for mut gs in stmts.drain(..) {
+        if let Stmt::Loop(l) = &mut gs.stmt {
+            unroll_list(&mut l.body, limit, count);
+            if let (Some(lo), Some(hi)) = (l.lo.as_const(), l.hi.as_const()) {
+                if hi >= lo && hi - lo + 1 <= limit {
+                    *count += 1;
+                    for x in lo..=hi {
+                        for m in &l.body {
+                            debug_assert!(m.guard.is_none(), "unroll before fusion");
+                            let mut stmt = m.stmt.clone();
+                            subst::instantiate_var(&mut stmt, l.var, &LinExpr::konst(x));
+                            out.push(GuardedStmt { stmt, guard: gs.guard.clone(), outer: gs.outer.clone() });
+                        }
+                    }
+                    continue;
+                }
+            }
+        }
+        out.push(gs);
+    }
+    *stmts = out;
+}
+
+// --------------------------------------------------------------------------
+// Array splitting of small constant dimensions
+// --------------------------------------------------------------------------
+
+/// Splits every array dimension of constant extent ≤ `limit` into separate
+/// arrays (`U[5, N, N] → U__1..U__5[N, N]`), provided every reference
+/// subscripts that dimension with a constant (run unrolling first). Returns
+/// the net number of arrays added.
+pub fn split_const_dims(prog: &mut Program, limit: i64) -> usize {
+    let before = prog.arrays.len();
+    loop {
+        let Some((target, dim, extent)) = find_splittable(prog, limit) else { break };
+        apply_split(prog, target, dim, extent);
+    }
+    prog.arrays.len() - before
+}
+
+fn find_splittable(prog: &Program, limit: i64) -> Option<(ArrayId, usize, i64)> {
+    for (i, decl) in prog.arrays.iter().enumerate() {
+        if decl.rank() < 2 {
+            continue; // splitting a 1-D array to scalars helps nothing
+        }
+        for (d, dimsize) in decl.dims.iter().enumerate() {
+            let Some(s) = dimsize.as_const() else { continue };
+            if s < 1 || s > limit {
+                continue;
+            }
+            let a = ArrayId::from_index(i);
+            if all_refs_const_at(prog, a, d) {
+                return Some((a, d, s));
+            }
+        }
+    }
+    None
+}
+
+fn all_refs_const_at(prog: &Program, a: ArrayId, d: usize) -> bool {
+    let mut ok = true;
+    prog.walk(|gs, _| {
+        if let Stmt::Assign(asg) = &gs.stmt {
+            let mut check = |r: &gcr_ir::ArrayRef| {
+                if r.array == a {
+                    match r.subs.get(d) {
+                        Some(Subscript::Invariant(e)) if e.as_const().is_some() => {}
+                        _ => ok = false,
+                    }
+                }
+            };
+            check(&asg.lhs);
+            asg.rhs.visit_reads(&mut |r| check(r));
+        }
+    });
+    ok
+}
+
+fn apply_split(prog: &mut Program, a: ArrayId, d: usize, extent: i64) {
+    // New arrays A__1..A__extent with dimension d removed.
+    let decl = prog.array(a).clone();
+    let mut new_dims = decl.dims.clone();
+    new_dims.remove(d);
+    let first_new = prog.arrays.len();
+    for k in 1..=extent {
+        prog.arrays.push(ArrayDecl { name: format!("{}__{k}", decl.name), dims: new_dims.clone() });
+    }
+    // Rewrite every reference.
+    let remap = |r: &mut gcr_ir::ArrayRef| {
+        if r.array == a {
+            let Subscript::Invariant(e) = &r.subs[d] else { unreachable!("checked const") };
+            let k = e.as_const().expect("checked const");
+            assert!(k >= 1 && k <= extent, "split subscript {k} out of 1..={extent}");
+            r.array = ArrayId::from_index(first_new + (k - 1) as usize);
+            r.subs.remove(d);
+        }
+    };
+    fn rewrite(stmts: &mut [GuardedStmt], remap: &dyn Fn(&mut gcr_ir::ArrayRef)) {
+        for gs in stmts {
+            match &mut gs.stmt {
+                Stmt::Assign(asg) => {
+                    remap(&mut asg.lhs);
+                    asg.rhs.visit_reads_mut(&mut |r| remap(r));
+                }
+                Stmt::Loop(l) => rewrite(&mut l.body, remap),
+            }
+        }
+    }
+    rewrite(&mut prog.body, &remap);
+    // Shrink the old declaration to zero cost; it is no longer referenced.
+    // (Ids are positional, so it cannot be removed without a global remap —
+    // give it rank 0 so the layout allocates a single element.)
+    prog.arrays[a.index()].dims.clear();
+    prog.arrays[a.index()].name = format!("{}__dead", decl.name);
+}
+
+// --------------------------------------------------------------------------
+// Loop distribution
+// --------------------------------------------------------------------------
+
+/// Maximally distributes every loop: body statements end up in separate
+/// loops except where a backward dependence forces them together. Returns
+/// the number of additional loops created.
+pub fn distribute(prog: &mut Program) -> usize {
+    let ranges = var_ranges(prog);
+    let mut created = 0;
+    let mut body = std::mem::take(&mut prog.body);
+    distribute_list(&mut body, prog, &ranges, &mut created);
+    prog.body = body;
+    created
+}
+
+fn distribute_list(
+    stmts: &mut Vec<GuardedStmt>,
+    prog: &mut Program,
+    ranges: &VarRanges,
+    created: &mut usize,
+) {
+    let mut out: Vec<GuardedStmt> = Vec::with_capacity(stmts.len());
+    for gs in stmts.drain(..) {
+        match gs.stmt {
+            Stmt::Loop(l) => {
+                let pieces = distribute_loop(l, prog, ranges, created);
+                for p in pieces {
+                    out.push(GuardedStmt { stmt: Stmt::Loop(p), guard: gs.guard.clone(), outer: gs.outer.clone() });
+                }
+            }
+            other => out.push(GuardedStmt { stmt: other, guard: gs.guard, outer: gs.outer }),
+        }
+    }
+    *stmts = out;
+}
+
+fn distribute_loop(
+    mut l: Loop,
+    prog: &mut Program,
+    ranges: &VarRanges,
+    created: &mut usize,
+) -> Vec<Loop> {
+    // Recurse into nested loops first.
+    let mut inner = std::mem::take(&mut l.body);
+    distribute_list(&mut inner, prog, ranges, created);
+    l.body = inner;
+    let n = l.body.len();
+    if n <= 1 {
+        return vec![l];
+    }
+    // Union statements connected by backward dependences.
+    let range = l.range();
+    let refs: Vec<Vec<gcr_analysis::LevelRef>> = l
+        .body
+        .iter()
+        .map(|m| classify_level_refs(m, l.var, &range, ranges))
+        .collect();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(p: &mut Vec<usize>, x: usize) -> usize {
+        if p[x] != x {
+            let r = find(p, p[x]);
+            p[x] = r;
+        }
+        p[x]
+    }
+    for a in 0..n {
+        for b in a + 1..n {
+            if backward_dep(&refs[a], &refs[b]) {
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                if ra != rb {
+                    parent[ra.max(rb)] = ra.min(rb);
+                }
+            }
+        }
+    }
+    // Emit groups in original order of their first member.
+    let mut groups: Vec<(usize, Vec<GuardedStmt>)> = Vec::new();
+    for (idx, m) in l.body.drain(..).enumerate() {
+        let root = find(&mut parent, idx);
+        match groups.iter_mut().find(|(r, _)| *r == root) {
+            Some((_, v)) => v.push(m),
+            None => groups.push((root, vec![m])),
+        }
+    }
+    if groups.len() == 1 {
+        let (_, body) = groups.pop().unwrap();
+        l.body = body;
+        return vec![l];
+    }
+    *created += groups.len() - 1;
+    let mut out = Vec::with_capacity(groups.len());
+    let base_name = prog.var(l.var).name.clone();
+    for (gi, (_, body)) in groups.into_iter().enumerate() {
+        if gi == 0 {
+            out.push(Loop { var: l.var, lo: l.lo.clone(), hi: l.hi.clone(), body });
+        } else {
+            let v = prog.fresh_var(format!("{base_name}_{gi}"));
+            let mut body = body;
+            for m in &mut body {
+                subst::rename_shift_var(&mut m.stmt, l.var, v, 0);
+            }
+            out.push(Loop { var: v, lo: l.lo.clone(), hi: l.hi.clone(), body });
+        }
+    }
+    out
+}
+
+/// True when splitting `a` (earlier) and `b` (later) into separate loops
+/// would violate a dependence — i.e. some instance of `b` must precede an
+/// instance of `a`.
+fn backward_dep(a: &[gcr_analysis::LevelRef], b: &[gcr_analysis::LevelRef]) -> bool {
+    use gcr_analysis::LevelPos;
+    for ra in a {
+        for rb in b {
+            if ra.access.aref.array != rb.access.aref.array {
+                continue;
+            }
+            if !ra.access.kind.conflicts(rb.access.kind) {
+                continue;
+            }
+            if !ra.dims_may_overlap(rb) {
+                continue;
+            }
+            match (ra.pos, rb.pos) {
+                (
+                    LevelPos::Variant { dim: d1, offset: c1 },
+                    LevelPos::Variant { dim: d2, offset: c2 },
+                ) => {
+                    // b touches element e at e − c2, a at e − c1; backward
+                    // iff b's touch comes first: c2 > c1. Transposed
+                    // conflicts are conservatively backward.
+                    if d1 != d2 || c2 > c1 {
+                        return true;
+                    }
+                }
+                // Invariant locations couple all iterations: keep together.
+                _ => return true,
+            }
+        }
+    }
+    false
+}
+
+// --------------------------------------------------------------------------
+// Constant folding
+// --------------------------------------------------------------------------
+
+/// Folds constant arithmetic in every right-hand side.
+pub fn fold_constants(prog: &mut Program) {
+    fn fold(e: &mut Expr) {
+        match e {
+            Expr::Unary(op, a) => {
+                fold(a);
+                if let Expr::Const(x) = **a {
+                    let v = match op {
+                        UnOp::Neg => -x,
+                        UnOp::Sqrt => x.abs().sqrt(),
+                        UnOp::Abs => x.abs(),
+                    };
+                    *e = Expr::Const(v);
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                fold(a);
+                fold(b);
+                if let (Expr::Const(x), Expr::Const(y)) = (&**a, &**b) {
+                    let v = match op {
+                        BinOp::Add => x + y,
+                        BinOp::Sub => x - y,
+                        BinOp::Mul => x * y,
+                        BinOp::Div => {
+                            if y.abs() < 1e-300 {
+                                *x
+                            } else {
+                                x / y
+                            }
+                        }
+                        BinOp::Max => x.max(*y),
+                        BinOp::Min => x.min(*y),
+                    };
+                    *e = Expr::Const(v);
+                }
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    fold(a);
+                }
+            }
+            Expr::Lin(l) => {
+                if let Some(k) = l.as_const() {
+                    *e = Expr::Const(k as f64);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn walk(stmts: &mut [GuardedStmt]) {
+        for gs in stmts {
+            match &mut gs.stmt {
+                Stmt::Assign(a) => fold(&mut a.rhs),
+                Stmt::Loop(l) => walk(&mut l.body),
+            }
+        }
+    }
+    walk(&mut prog.body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_exec::{Machine, NullSink};
+    use gcr_frontend::parse;
+    use gcr_ir::ParamBinding;
+
+    fn equivalent(orig: &Program, xformed: &Program, n: i64) {
+        let bind = ParamBinding::new(vec![n]);
+        let mut m1 = Machine::new(orig, bind.clone());
+        m1.run_steps(&mut NullSink, 2);
+        let mut m2 = Machine::new(xformed, bind);
+        m2.run_steps(&mut NullSink, 2);
+        // Compare arrays that exist in both (by name).
+        for (ai, decl) in orig.arrays.iter().enumerate() {
+            if decl.is_scalar() {
+                continue;
+            }
+            let a1 = gcr_ir::ArrayId::from_index(ai);
+            let v1 = m1.read_array(a1);
+            if let Some(a2) = xformed.array_by_name(&decl.name) {
+                if !xformed.array(a2).is_scalar() {
+                    let v2 = m2.read_array(a2);
+                    assert_eq!(v1, v2, "array {}", decl.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unrolls_small_constant_loop() {
+        let src = "
+program u
+param N
+array A[N, N]
+
+for i = 1, N {
+  for m = 1, 3 {
+    A[i, m] = f(A[i, m])
+  }
+}
+";
+        let orig = parse(src).unwrap();
+        let mut p = orig.clone();
+        let n = unroll_const_loops(&mut p, 8);
+        assert_eq!(n, 1);
+        assert_eq!(p.count_loops(), 1);
+        assert_eq!(p.count_assigns(), 3);
+        equivalent(&orig, &p, 6);
+    }
+
+    #[test]
+    fn unroll_respects_limit() {
+        let src = "
+program u
+param N
+array A[N, N]
+
+for i = 1, N {
+  for m = 1, 6 {
+    A[i, m] = f(A[i, m])
+  }
+}
+";
+        let mut p = parse(src).unwrap();
+        assert_eq!(unroll_const_loops(&mut p, 4), 0);
+        assert_eq!(p.count_loops(), 2);
+    }
+
+    #[test]
+    fn splits_constant_dimension() {
+        // Every U read is of a value written earlier in the same run, so
+        // the comparison is independent of initial memory contents (split
+        // arrays necessarily start with different deterministic init data).
+        let src = "
+program s
+param N
+array U[3, N], V[N]
+
+for i = 1, N {
+  U[1, i] = f(V[i])
+  U[2, i] = g(V[i], U[1, i])
+  U[3, i] = h(U[1, i], U[2, i])
+}
+";
+        let orig = parse(src).unwrap();
+        let mut p = orig.clone();
+        let added = split_const_dims(&mut p, 8);
+        assert_eq!(added, 3);
+        assert!(p.array_by_name("U__1").is_some());
+        assert!(p.array_by_name("U__3").is_some());
+        // All refs retargeted; U itself dead.
+        let mut accs = Vec::new();
+        for gs in &p.body {
+            gcr_analysis::access::collect_accesses(&gs.stmt, &mut accs);
+        }
+        assert!(accs
+            .iter()
+            .all(|a| p.array(a.aref.array).name.starts_with("U__")
+                || p.array(a.aref.array).name == "V"));
+        gcr_ir::validate::validate(&p).unwrap();
+        // Semantics: compare split arrays against original slices.
+        let bind = ParamBinding::new(vec![5]);
+        let mut m1 = Machine::new(&orig, bind.clone());
+        m1.run(&mut NullSink);
+        let mut m2 = Machine::new(&p, bind);
+        m2.run(&mut NullSink);
+        let u = m1.read_array(gcr_ir::ArrayId::from_index(0));
+        for k in 0..3usize {
+            let uk = m2.read_array(p.array_by_name(&format!("U__{}", k + 1)).unwrap());
+            let slice: Vec<f64> = (0..5).map(|i| u[i * 3 + k]).collect();
+            assert_eq!(uk, slice, "U__{}", k + 1);
+        }
+        // The dead original declaration takes one padding slot only.
+        assert!(p.array(gcr_ir::ArrayId::from_index(0)).is_scalar());
+    }
+
+    #[test]
+    fn split_skips_variable_subscripts() {
+        let src = "
+program s
+param N
+array U[3, N]
+
+for i = 1, N {
+  for m = 1, 3 {
+    U[m, i] = f(U[m, i])
+  }
+}
+";
+        let mut p = parse(src).unwrap();
+        // Without unrolling, the m subscript blocks splitting.
+        assert_eq!(split_const_dims(&mut p, 8), 0);
+        // After unrolling it works.
+        assert_eq!(unroll_const_loops(&mut p, 8), 1);
+        assert_eq!(split_const_dims(&mut p, 8), 3);
+    }
+
+    #[test]
+    fn distributes_independent_statements() {
+        let src = "
+program d
+param N
+array A[N], B[N], C[N]
+
+for i = 1, N {
+  A[i] = f(A[i])
+  B[i] = g(B[i])
+  C[i] = h(A[i], C[i])
+}
+";
+        let orig = parse(src).unwrap();
+        let mut p = orig.clone();
+        let created = distribute(&mut p);
+        assert_eq!(created, 2, "{}", gcr_ir::print::print_program(&p));
+        assert_eq!(p.count_nests(), 3);
+        gcr_ir::validate::validate(&p).unwrap();
+        equivalent(&orig, &p, 10);
+    }
+
+    #[test]
+    fn backward_dep_keeps_statements_together() {
+        // s2 writes A[i+1] read by s1 in the NEXT iteration: splitting
+        // would break the interleaving.
+        let src = "
+program d
+param N
+array A[N], B[N]
+
+for i = 2, N - 1 {
+  B[i] = f(A[i+1])
+  A[i] = g(B[i])
+}
+";
+        let orig = parse(src).unwrap();
+        let mut p = orig.clone();
+        // s1 reads A[i+1], s2 writes A[i]: b touches elem e at e, a at e-1:
+        // backward (c2=0 > c1=... wait c1=+1, c2=0: c2 > c1 false -> check
+        // the real semantics by equivalence instead.
+        distribute(&mut p);
+        gcr_ir::validate::validate(&p).unwrap();
+        equivalent(&orig, &p, 12);
+    }
+
+    #[test]
+    fn distribution_then_fusion_round_trips() {
+        let src = "
+program rt
+param N
+array A[N], B[N]
+
+for i = 1, N {
+  A[i] = f(A[i])
+  B[i] = g(A[i], B[i])
+}
+";
+        let orig = parse(src).unwrap();
+        let mut p = orig.clone();
+        distribute(&mut p);
+        assert_eq!(p.count_nests(), 2);
+        let rep = crate::fusion::fuse_program(&mut p, &crate::fusion::FusionOptions::default());
+        assert_eq!(rep.total_fused(), 1);
+        assert_eq!(p.count_nests(), 1);
+        equivalent(&orig, &p, 9);
+    }
+
+    #[test]
+    fn folds_constant_expressions() {
+        let src = "
+program c
+param N
+array A[N]
+
+for i = 1, N {
+  A[i] = 2.0 * 3.0 + A[i] * (1.0 - 1.0)
+}
+";
+        let mut p = parse(src).unwrap();
+        fold_constants(&mut p);
+        let l = p.body[0].stmt.as_loop().unwrap();
+        let a = l.body[0].stmt.as_assign().unwrap();
+        // 2*3 folded; A[i]*(0) keeps the read (not algebraically simplified).
+        match &a.rhs {
+            Expr::Bin(BinOp::Add, x, _) => assert_eq!(**x, Expr::Const(6.0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn preliminary_composes() {
+        let src = "
+program all
+param N
+array U[2, N], V[N]
+
+for i = 2, N {
+  for m = 1, 2 {
+    U[m, i] = f(U[m, i-1])
+  }
+  V[i] = g(V[i])
+}
+";
+        let orig = parse(src).unwrap();
+        let mut p = orig.clone();
+        let rep = preliminary(&mut p, 8);
+        assert_eq!(rep.unrolled, 1);
+        assert_eq!(rep.split_arrays, 2);
+        assert!(rep.distributed >= 1);
+        gcr_ir::validate::validate(&p).unwrap();
+        // V's results unchanged.
+        let bind = ParamBinding::new(vec![7]);
+        let mut m1 = Machine::new(&orig, bind.clone());
+        m1.run(&mut NullSink);
+        let mut m2 = Machine::new(&p, bind);
+        m2.run(&mut NullSink);
+        assert_eq!(
+            m1.read_array(orig.array_by_name("V").unwrap()),
+            m2.read_array(p.array_by_name("V").unwrap())
+        );
+    }
+}

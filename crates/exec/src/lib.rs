@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! `gcr-exec` — program execution and memory-trace generation.
+//!
+//! The paper's experiments all measure functions of the memory-address
+//! stream (cache misses, TLB misses, reuse distances) or a cycle count.
+//! Instead of generating Fortran through Omega as the authors did, we
+//! execute the transformed IR directly: the [`machine::Machine`]
+//! interpreter walks the (guarded) loop nests in exact iteration order and
+//! reports every array access — mapped to a byte address through a
+//! [`layout::DataLayout`] — to a [`machine::TraceSink`]. This produces the
+//! identical address trace compiled code would produce under the same
+//! layout, which is what every downstream measurement consumes.
+//!
+//! The layout is the regrouping transformation's output format: an affine
+//! `base + Σ stride·(idx−1)` address function per array. The default layout
+//! places arrays sequentially in column-major (Fortran) order; regrouped
+//! layouts interleave strides (see `gcr-core::regroup`).
+
+pub mod layout;
+pub mod machine;
+
+pub use layout::{ArrayLayout, DataLayout};
+pub use machine::{AccessEvent, CountingSink, ExecStats, Machine, NullSink, TraceSink};

@@ -1,0 +1,75 @@
+//! Property tests for data layouts and the memory image.
+
+use gcr_exec::{DataLayout, Machine, NullSink};
+use gcr_ir::{LinExpr, ParamBinding, ProgramBuilder};
+use proptest::prelude::*;
+
+/// Builds a program declaring arrays with the given ranks (no statements —
+/// layout-only tests).
+fn decls(ranks: &[usize]) -> gcr_ir::Program {
+    let mut b = ProgramBuilder::new("decls");
+    let n = b.param("N");
+    for (k, &r) in ranks.iter().enumerate() {
+        let dims: Vec<LinExpr> = (0..r).map(|_| LinExpr::param(n)).collect();
+        b.array(format!("A{k}"), &dims);
+    }
+    b.finish()
+}
+
+proptest! {
+    /// Column-major layouts are bijective and dense (modulo padding).
+    #[test]
+    fn column_major_is_bijective(
+        ranks in proptest::collection::vec(0usize..3, 1..5),
+        n in 2i64..6,
+        pad in prop_oneof![Just(0usize), Just(64)],
+    ) {
+        let prog = decls(&ranks);
+        let layout = DataLayout::column_major(&prog, &ParamBinding::new(vec![n]), pad);
+        let mut seen = std::collections::HashSet::new();
+        let mut elems = 0usize;
+        for al in &layout.arrays {
+            let total: i64 = al.extents.iter().product::<i64>().max(1);
+            // Enumerate all logical indices via odometer.
+            let rank = al.extents.len();
+            let mut idx = vec![1i64; rank];
+            for _ in 0..total {
+                let a = al.addr(&idx);
+                prop_assert!(a % 8 == 0);
+                prop_assert!(a + 8 <= layout.total_bytes);
+                prop_assert!(seen.insert(a), "duplicate address {a}");
+                elems += 1;
+                let mut d = 0;
+                while d < rank {
+                    idx[d] += 1;
+                    if idx[d] <= al.extents[d] {
+                        break;
+                    }
+                    idx[d] = 1;
+                    d += 1;
+                }
+            }
+        }
+        prop_assert_eq!(elems, seen.len());
+    }
+
+    /// write_array is the inverse of read_array under any padding.
+    #[test]
+    fn write_read_roundtrip(
+        n in 2i64..7,
+        pad in prop_oneof![Just(0usize), Just(32)],
+        values in proptest::collection::vec(-100.0f64..100.0, 4..49),
+    ) {
+        let prog = decls(&[2]);
+        let bind = ParamBinding::new(vec![n]);
+        let layout = DataLayout::column_major(&prog, &bind, pad);
+        let mut m = Machine::with_layout(&prog, bind, layout);
+        let a = gcr_ir::ArrayId::from_index(0);
+        let len = (n * n) as usize;
+        let vals: Vec<f64> = values.iter().cycle().take(len).copied().collect();
+        m.write_array(a, &vals);
+        prop_assert_eq!(m.read_array(a), vals);
+        m.run(&mut NullSink); // empty body: nothing changes
+        prop_assert_eq!(m.stats().instances, 0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Hand-written lexer for LoopLang.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal (contains `.` or exponent).
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(v) => write!(f, "`{v}`"),
+            TokenKind::Float(v) => write!(f, "`{v}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Lexical error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes LoopLang source. Comments run from `//` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let (mut line, mut col) = (1u32, 1u32);
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tl, tc) = (line, col);
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'(' => {
+                out.push(Token { kind: TokenKind::LParen, line: tl, col: tc });
+                bump!();
+            }
+            b')' => {
+                out.push(Token { kind: TokenKind::RParen, line: tl, col: tc });
+                bump!();
+            }
+            b'[' => {
+                out.push(Token { kind: TokenKind::LBracket, line: tl, col: tc });
+                bump!();
+            }
+            b']' => {
+                out.push(Token { kind: TokenKind::RBracket, line: tl, col: tc });
+                bump!();
+            }
+            b'{' => {
+                out.push(Token { kind: TokenKind::LBrace, line: tl, col: tc });
+                bump!();
+            }
+            b'}' => {
+                out.push(Token { kind: TokenKind::RBrace, line: tl, col: tc });
+                bump!();
+            }
+            b',' => {
+                out.push(Token { kind: TokenKind::Comma, line: tl, col: tc });
+                bump!();
+            }
+            b'=' => {
+                out.push(Token { kind: TokenKind::Eq, line: tl, col: tc });
+                bump!();
+            }
+            b'+' => {
+                out.push(Token { kind: TokenKind::Plus, line: tl, col: tc });
+                bump!();
+            }
+            b'-' => {
+                out.push(Token { kind: TokenKind::Minus, line: tl, col: tc });
+                bump!();
+            }
+            b'*' => {
+                out.push(Token { kind: TokenKind::Star, line: tl, col: tc });
+                bump!();
+            }
+            b'/' => {
+                out.push(Token { kind: TokenKind::Slash, line: tl, col: tc });
+                bump!();
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    bump!();
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        bump!();
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let save = (i, line, col);
+                    is_float = true;
+                    bump!();
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        bump!();
+                    }
+                    if i < bytes.len() && bytes[i].is_ascii_digit() {
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            bump!();
+                        }
+                    } else {
+                        // Not an exponent after all (e.g. identifier follows).
+                        (i, line, col) = save;
+                        is_float = src[start..i].contains('.');
+                    }
+                }
+                let text = &src[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| LexError {
+                        message: format!("bad float literal `{text}`"),
+                        line: tl,
+                        col: tc,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| LexError {
+                        message: format!("bad integer literal `{text}`"),
+                        line: tl,
+                        col: tc,
+                    })?)
+                };
+                out.push(Token { kind, line: tl, col: tc });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    bump!();
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{}`", other as char),
+                    line: tl,
+                    col: tc,
+                })
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_statement() {
+        let k = kinds("A[i+1] = 0.25 * B[i]");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("A".into()),
+                TokenKind::LBracket,
+                TokenKind::Ident("i".into()),
+                TokenKind::Plus,
+                TokenKind::Int(1),
+                TokenKind::RBracket,
+                TokenKind::Eq,
+                TokenKind::Float(0.25),
+                TokenKind::Star,
+                TokenKind::Ident("B".into()),
+                TokenKind::LBracket,
+                TokenKind::Ident("i".into()),
+                TokenKind::RBracket,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("x // comment + * /\ny");
+        assert_eq!(
+            k,
+            vec![TokenKind::Ident("x".into()), TokenKind::Ident("y".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn exponent_floats() {
+        assert_eq!(kinds("1.5e3")[0], TokenKind::Float(1500.0));
+        assert_eq!(kinds("2e2")[0], TokenKind::Float(200.0));
+    }
+
+    #[test]
+    fn exponent_backtrack() {
+        // `2elem` is Int(2) then ident `elem`, not a malformed float.
+        let k = kinds("2elem");
+        assert_eq!(k[0], TokenKind::Int(2));
+        assert_eq!(k[1], TokenKind::Ident("elem".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let e = lex("a $ b").unwrap_err();
+        assert!(e.message.contains('$'));
+        assert_eq!(e.col, 3);
+    }
+}

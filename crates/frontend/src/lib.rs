@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! `gcr-frontend` — lexer and parser for **LoopLang**, the small Fortran-like
+//! language in which the benchmark kernels are written.
+//!
+//! LoopLang is exactly the input model of the paper (Figure 5): a program is
+//! a list of loops and non-loop assignments; subscripts are `i + k` or
+//! loop-invariant; bounds are linear in size parameters. The printer in
+//! `gcr-ir` emits LoopLang, so transformed programs round-trip through this
+//! parser.
+//!
+//! ```
+//! let src = "
+//! program adi
+//! param N
+//! array A[N]
+//!
+//! for i = 3, N - 2 {
+//!   A[i] = f(A[i-1])
+//! }
+//! A[1] = A[N]
+//! ";
+//! let prog = gcr_frontend::parse(src).unwrap();
+//! assert_eq!(prog.count_loops(), 1);
+//! assert_eq!(prog.count_assigns(), 2);
+//! ```
+
+mod lexer;
+mod parser;
+
+pub use lexer::{LexError, Token, TokenKind};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,752 @@
+//! Recursive-descent parser for LoopLang.
+
+use crate::lexer::{lex, Token, TokenKind};
+use gcr_ir::{
+    ArrayId, ArrayRef, Assign, AssignKind, BinOp, Expr, GuardedStmt, LinExpr, Loop, ParamId,
+    Program, ProgramBuilder, Range, ReduceOp, Stmt, Subscript, UnOp, VarId,
+};
+use std::fmt;
+
+/// Parse (or lex) error with source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Intrinsic function names the interpreter knows how to evaluate. The
+/// paper's examples use opaque `f`, `g`, `t`; the kernels use a few more.
+pub(crate) const INTRINSICS: &[&str] = &["f", "g", "h", "t", "u", "w", "relax", "flux", "wave"];
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    b: ProgramBuilder,
+    scope: Vec<(String, VarId)>,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parses LoopLang source text into a validated program.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src).map_err(|e| ParseError { message: e.message, line: e.line, col: e.col })?;
+    let mut p = Parser { toks, pos: 0, b: ProgramBuilder::new(""), scope: Vec::new() };
+    let prog = p.program()?;
+    gcr_ir::validate::validate(&prog).map_err(|errs| ParseError {
+        message: format!("ill-formed program: {}", errs[0]),
+        line: 0,
+        col: 0,
+    })?;
+    Ok(prog)
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let t = &self.toks[self.pos];
+        (t.line, t.col)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        let (line, col) = self.here();
+        Err(ParseError { message: msg.into(), line, col })
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn expect(&mut self, k: &TokenKind) -> PResult<()> {
+        if self.peek() == k {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {k}, found {}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn program(&mut self) -> PResult<Program> {
+        if !self.is_kw("program") {
+            return self.err("expected `program`");
+        }
+        self.bump();
+        let name = self.ident()?;
+        self.b = ProgramBuilder::new(name);
+        // Declarations in any order.
+        loop {
+            if self.is_kw("param") {
+                self.bump();
+                loop {
+                    let n = self.ident()?;
+                    if self.b.program().param_by_name(&n).is_some() {
+                        return self.err(format!("duplicate parameter `{n}`"));
+                    }
+                    self.b.param(n);
+                    if self.peek() == &TokenKind::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            } else if self.is_kw("array") {
+                self.bump();
+                loop {
+                    let n = self.ident()?;
+                    self.expect(&TokenKind::LBracket)?;
+                    let mut dims = Vec::new();
+                    loop {
+                        dims.push(self.lin_expr_params_only()?);
+                        if self.peek() == &TokenKind::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RBracket)?;
+                    if self.b.program().array_by_name(&n).is_some() {
+                        return self.err(format!("duplicate array `{n}`"));
+                    }
+                    self.b.array(n, &dims);
+                    if self.peek() == &TokenKind::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            } else if self.is_kw("scalar") {
+                self.bump();
+                loop {
+                    let n = self.ident()?;
+                    if self.b.program().array_by_name(&n).is_some() {
+                        return self.err(format!("duplicate scalar `{n}`"));
+                    }
+                    self.b.scalar(n);
+                    if self.peek() == &TokenKind::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        // Statements until EOF.
+        let mut body = Vec::new();
+        while self.peek() != &TokenKind::Eof {
+            body.push(self.guarded_stmt()?);
+        }
+        let mut prog = std::mem::replace(&mut self.b, ProgramBuilder::new("")).finish();
+        prog.body = body;
+        Ok(prog)
+    }
+
+    fn guarded_stmt(&mut self) -> PResult<GuardedStmt> {
+        let mut guard = None;
+        let mut outer = Vec::new();
+        // `when [lo, hi]` guards on the enclosing loop variable;
+        // `when v in [lo, hi]` guards on the named (outer) loop variable.
+        while self.is_kw("when") {
+            self.bump();
+            let var = if matches!(self.peek(), TokenKind::Ident(_)) {
+                let name = self.ident()?;
+                let Some(v) = self.lookup_var(&name) else {
+                    return self.err(format!("unknown loop variable `{name}` in guard"));
+                };
+                if !self.is_kw("in") {
+                    return self.err("expected `in` after guard variable");
+                }
+                self.bump();
+                Some(v)
+            } else {
+                None
+            };
+            self.expect(&TokenKind::LBracket)?;
+            let lo = self.lin_expr_params_only()?;
+            self.expect(&TokenKind::Comma)?;
+            let hi = self.lin_expr_params_only()?;
+            self.expect(&TokenKind::RBracket)?;
+            let r = Range::new(lo, hi);
+            match var {
+                Some(v) if Some(v) != self.scope.last().map(|&(_, v)| v) => outer.push((v, r)),
+                _ => guard = Some(r),
+            }
+        }
+        let stmt = self.stmt()?;
+        Ok(GuardedStmt { stmt, guard, outer })
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        if self.is_kw("for") {
+            self.bump();
+            let var_name = self.ident()?;
+            if self.lookup_var(&var_name).is_some() {
+                return self.err(format!("loop variable `{var_name}` shadows an outer loop"));
+            }
+            self.expect(&TokenKind::Eq)?;
+            let lo = self.lin_expr_params_only()?;
+            self.expect(&TokenKind::Comma)?;
+            let hi = self.lin_expr_params_only()?;
+            self.expect(&TokenKind::LBrace)?;
+            let var = self.b.var(var_name.clone());
+            self.scope.push((var_name, var));
+            let mut body = Vec::new();
+            while self.peek() != &TokenKind::RBrace {
+                if self.peek() == &TokenKind::Eof {
+                    return self.err("unexpected end of input inside loop body");
+                }
+                body.push(self.guarded_stmt()?);
+            }
+            self.bump(); // `}`
+            self.scope.pop();
+            Ok(Stmt::Loop(Loop { var, lo, hi, body }))
+        } else {
+            self.assign()
+        }
+    }
+
+    fn assign(&mut self) -> PResult<Stmt> {
+        let (array, subs) = self.lvalue()?;
+        // Assignment operator: `=`, or `sum=` / `max=` / `min=`.
+        let kind = match self.peek().clone() {
+            TokenKind::Eq => {
+                self.bump();
+                AssignKind::Normal
+            }
+            TokenKind::Ident(s) if s == "sum" || s == "max" || s == "min" => {
+                self.bump();
+                self.expect(&TokenKind::Eq)?;
+                AssignKind::Reduce(match s.as_str() {
+                    "sum" => ReduceOp::Sum,
+                    "max" => ReduceOp::Max,
+                    _ => ReduceOp::Min,
+                })
+            }
+            other => return self.err(format!("expected assignment operator, found {other}")),
+        };
+        let rhs = self.expr()?;
+        let lhs = self.b.aref(array, subs);
+        let id = {
+            // `finish()` consumes, so reach into the builder via a fresh id.
+            let prog_ref: &mut ProgramBuilder = &mut self.b;
+            prog_ref.fresh_stmt_id()
+        };
+        Ok(Stmt::Assign(Assign { id, lhs, rhs, kind }))
+    }
+
+    fn lookup_var(&self, name: &str) -> Option<VarId> {
+        self.scope.iter().rev().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    fn lookup_param(&self, name: &str) -> Option<ParamId> {
+        self.b.program().param_by_name(name)
+    }
+
+    fn lookup_array(&self, name: &str) -> Option<ArrayId> {
+        self.b.program().array_by_name(name)
+    }
+
+    /// Parses `A` or `A[sub, sub]`; scalars take no brackets.
+    fn lvalue(&mut self) -> PResult<(ArrayId, Vec<Subscript>)> {
+        let name = self.ident()?;
+        let Some(array) = self.lookup_array(&name) else {
+            return self.err(format!("unknown array `{name}`"));
+        };
+        let mut subs = Vec::new();
+        if self.peek() == &TokenKind::LBracket {
+            self.bump();
+            loop {
+                subs.push(self.subscript()?);
+                if self.peek() == &TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RBracket)?;
+        }
+        Ok((array, subs))
+    }
+
+    /// Parses one subscript: a linear expression over at most one in-scope
+    /// loop variable (with coefficient 1) plus parameters.
+    fn subscript(&mut self) -> PResult<Subscript> {
+        let at = self.here();
+        let (vars, lin) = self.lin_expr()?;
+        match vars.as_slice() {
+            [] => Ok(Subscript::Invariant(lin)),
+            [(v, 1)] => match lin.as_const() {
+                Some(k) => Ok(Subscript::Var { var: *v, offset: k }),
+                None => Err(ParseError {
+                    message: "subscript mixes a loop variable with parameters".into(),
+                    line: at.0,
+                    col: at.1,
+                }),
+            },
+            [(_, c)] => Err(ParseError {
+                message: format!("loop variable has coefficient {c}; only `i + k` subscripts are allowed"),
+                line: at.0,
+                col: at.1,
+            }),
+            _ => Err(ParseError {
+                message: "subscript uses more than one loop variable".into(),
+                line: at.0,
+                col: at.1,
+            }),
+        }
+    }
+
+    /// Linear expression with no loop variables (bounds, dims, guards).
+    fn lin_expr_params_only(&mut self) -> PResult<LinExpr> {
+        let at = self.here();
+        let (vars, lin) = self.lin_expr()?;
+        if vars.is_empty() {
+            Ok(lin)
+        } else {
+            Err(ParseError {
+                message: "loop variables are not allowed here".into(),
+                line: at.0,
+                col: at.1,
+            })
+        }
+    }
+
+    /// Parses an additive linear expression; returns loop-variable
+    /// coefficients plus the parameter-linear remainder.
+    fn lin_expr(&mut self) -> PResult<(Vec<(VarId, i64)>, LinExpr)> {
+        let mut vars: Vec<(VarId, i64)> = Vec::new();
+        let mut lin = LinExpr::zero();
+        let mut sign = 1i64;
+        // Leading sign.
+        if self.peek() == &TokenKind::Minus {
+            self.bump();
+            sign = -1;
+        } else if self.peek() == &TokenKind::Plus {
+            self.bump();
+        }
+        loop {
+            self.lin_term(sign, &mut vars, &mut lin)?;
+            match self.peek() {
+                TokenKind::Plus => {
+                    self.bump();
+                    sign = 1;
+                }
+                TokenKind::Minus => {
+                    self.bump();
+                    sign = -1;
+                }
+                _ => break,
+            }
+        }
+        vars.retain(|&(_, c)| c != 0);
+        Ok((vars, lin))
+    }
+
+    fn lin_term(
+        &mut self,
+        sign: i64,
+        vars: &mut Vec<(VarId, i64)>,
+        lin: &mut LinExpr,
+    ) -> PResult<()> {
+        match self.peek().clone() {
+            TokenKind::Int(k) => {
+                self.bump();
+                // Optional `* name`.
+                if self.peek() == &TokenKind::Star {
+                    self.bump();
+                    let n = self.ident()?;
+                    self.add_name(sign * k, &n, vars, lin)
+                } else {
+                    *lin = lin.add_const(sign * k);
+                    Ok(())
+                }
+            }
+            TokenKind::Ident(n) => {
+                self.bump();
+                self.add_name(sign, &n, vars, lin)
+            }
+            other => self.err(format!("expected integer or name in linear expression, found {other}")),
+        }
+    }
+
+    fn add_name(
+        &mut self,
+        coeff: i64,
+        name: &str,
+        vars: &mut Vec<(VarId, i64)>,
+        lin: &mut LinExpr,
+    ) -> PResult<()> {
+        if let Some(v) = self.lookup_var(name) {
+            if let Some(e) = vars.iter_mut().find(|(w, _)| *w == v) {
+                e.1 += coeff;
+            } else {
+                vars.push((v, coeff));
+            }
+            Ok(())
+        } else if let Some(p) = self.lookup_param(name) {
+            *lin = lin.add(&LinExpr::affine(p, coeff, 0));
+            Ok(())
+        } else {
+            self.err(format!("unknown name `{name}` in linear expression"))
+        }
+    }
+
+    // ---- value expressions -------------------------------------------------
+
+    fn expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> PResult<Expr> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> PResult<Expr> {
+        match self.peek().clone() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.factor()?)))
+            }
+            TokenKind::Int(k) => {
+                self.bump();
+                Ok(Expr::Const(k as f64))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Const(v))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                self.name_expr(name)
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+
+    fn name_expr(&mut self, name: String) -> PResult<Expr> {
+        // Built-in functions.
+        match name.as_str() {
+            "sqrt" | "abs" if self.peek() == &TokenKind::LParen => {
+                let mut args = self.call_args()?;
+                if args.len() != 1 {
+                    return self.err(format!("`{name}` takes one argument"));
+                }
+                let op = if name == "sqrt" { UnOp::Sqrt } else { UnOp::Abs };
+                return Ok(Expr::Unary(op, Box::new(args.remove(0))));
+            }
+            "max" | "min" if self.peek() == &TokenKind::LParen => {
+                let mut args = self.call_args()?;
+                if args.len() < 2 {
+                    return self.err(format!("`{name}` takes at least two arguments"));
+                }
+                let op = if name == "max" { BinOp::Max } else { BinOp::Min };
+                let mut e = args.remove(0);
+                for a in args {
+                    e = Expr::Bin(op, Box::new(e), Box::new(a));
+                }
+                return Ok(e);
+            }
+            _ => {}
+        }
+        if self.peek() == &TokenKind::LParen {
+            // Opaque intrinsic call.
+            let Some(&static_name) = INTRINSICS.iter().find(|&&s| s == name) else {
+                return self.err(format!("unknown function `{name}`"));
+            };
+            let args = self.call_args()?;
+            return Ok(Expr::Call(static_name, args));
+        }
+        if let Some(v) = self.lookup_var(&name) {
+            return Ok(Expr::Var { var: v, offset: 0 });
+        }
+        if let Some(p) = self.lookup_param(&name) {
+            return Ok(Expr::Lin(LinExpr::param(p)));
+        }
+        if let Some(a) = self.lookup_array(&name) {
+            let rank = self.b.program().array(a).rank();
+            let mut subs = Vec::new();
+            if self.peek() == &TokenKind::LBracket {
+                self.bump();
+                loop {
+                    subs.push(self.subscript()?);
+                    if self.peek() == &TokenKind::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RBracket)?;
+            }
+            if subs.len() != rank {
+                return self.err(format!(
+                    "array `{name}` has rank {rank} but {} subscripts were given",
+                    subs.len()
+                ));
+            }
+            let r: ArrayRef = self.b.aref(a, subs);
+            return Ok(Expr::Read(r));
+        }
+        self.err(format!("unknown name `{name}`"))
+    }
+
+    fn call_args(&mut self) -> PResult<Vec<Expr>> {
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                if self.peek() == &TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_ir::print::print_program;
+
+    #[test]
+    fn parses_figure4a() {
+        let src = "
+program fig4a
+param N
+array A[N], B[N]
+
+for i = 3, N - 2 {
+  A[i] = f(A[i-1])
+}
+A[1] = A[N]
+A[2] = 0.0
+for i = 3, N {
+  B[i] = g(A[i-2])
+}
+";
+        let p = parse(src).unwrap();
+        assert_eq!(p.count_loops(), 2);
+        assert_eq!(p.count_assigns(), 4);
+        assert_eq!(p.count_nests(), 2);
+        assert_eq!(p.name, "fig4a");
+    }
+
+    #[test]
+    fn parses_two_dim() {
+        let src = "
+program twod
+param N
+array A[N, N], B[N, N], C[N, N]
+
+for i = 1, N {
+  for j = 1, N {
+    A[j, i] = g(A[j, i], B[j, i])
+  }
+  for j = 1, N {
+    C[j, i] = t(C[j, i])
+  }
+}
+";
+        let p = parse(src).unwrap();
+        assert_eq!(p.count_loops(), 3);
+        assert_eq!(p.max_depth(), 2);
+    }
+
+    #[test]
+    fn parses_guards_and_reductions() {
+        let src = "
+program g
+param N
+array A[N]
+scalar rmax
+
+for i = 2, N {
+  when [2, 2] A[i] = 0.0
+  rmax max= abs(A[i] - A[i-1])
+}
+";
+        let p = parse(src).unwrap();
+        let l = p.body[0].stmt.as_loop().unwrap();
+        assert!(l.body[0].guard.is_some());
+        let a = l.body[1].stmt.as_assign().unwrap();
+        assert_eq!(a.kind, AssignKind::Reduce(ReduceOp::Max));
+    }
+
+    #[test]
+    fn subscript_forms() {
+        let src = "
+program s
+param N
+array A[N, N]
+
+for i = 1, N {
+  A[i+1, 2] = A[i-1, N-1] + A[i, N]
+}
+";
+        let p = parse(src).unwrap();
+        let l = p.body[0].stmt.as_loop().unwrap();
+        let a = l.body[0].stmt.as_assign().unwrap();
+        assert_eq!(a.lhs.subs[0], Subscript::var(l.var, 1));
+        assert_eq!(a.lhs.subs[1], Subscript::konst(2));
+    }
+
+    #[test]
+    fn rejects_nonunit_coefficient() {
+        let src = "
+program s
+param N
+array A[N]
+for i = 1, N {
+  A[2*i] = 0.0
+}
+";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("coefficient"), "{e}");
+    }
+
+    #[test]
+    fn rejects_two_vars_in_subscript() {
+        let src = "
+program s
+param N
+array A[N]
+for i = 1, N {
+  for j = 1, N {
+    A[i+j] = 0.0
+  }
+}
+";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("more than one loop variable"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        assert!(parse("program x\narray A[M]\n").is_err());
+        assert!(parse("program x\nparam N\narray A[N]\nA[1] = q(2.0)\n").is_err());
+        assert!(parse("program x\nparam N\nB[1] = 0.0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_rank_mismatch() {
+        let src = "
+program s
+param N
+array A[N, N]
+for i = 1, N {
+  A[i] = 1.0
+}
+";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn print_parse_fixpoint() {
+        let src = "
+program round
+param N
+array A[N, N], B[N, N]
+scalar s
+
+for i = 2, N - 1 {
+  for j = 2, N - 1 {
+    when [3, N - 2] A[j, i] = 0.25 * (B[j-1, i] + B[j+1, i]) - A[j, i] / 2.0
+  }
+  s sum= A[2, i]
+}
+B[1, 1] = A[N, N - 1]
+";
+        let p1 = parse(src).unwrap();
+        let t1 = print_program(&p1);
+        let p2 = parse(&t1).unwrap_or_else(|e| panic!("reparse failed: {e}\n{t1}"));
+        let t2 = print_program(&p2);
+        assert_eq!(t1, t2, "printer/parser fixpoint");
+    }
+
+    #[test]
+    fn value_position_names() {
+        let src = "
+program v
+param N
+array A[N]
+for i = 1, N {
+  A[i] = i + N
+}
+";
+        let p = parse(src).unwrap();
+        let l = p.body[0].stmt.as_loop().unwrap();
+        let a = l.body[0].stmt.as_assign().unwrap();
+        match &a.rhs {
+            Expr::Bin(BinOp::Add, x, y) => {
+                assert!(matches!(**x, Expr::Var { .. }));
+                assert!(matches!(**y, Expr::Lin(_)));
+            }
+            other => panic!("unexpected rhs {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Robustness: the lexer and parser must reject garbage gracefully (return
+//! Err, never panic) and accept every printed program.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// No input string can panic the frontend.
+    #[test]
+    fn parser_never_panics(s in "\\PC*") {
+        let _ = gcr_frontend::parse(&s);
+    }
+
+    /// Token-shaped garbage doesn't panic either.
+    #[test]
+    fn token_soup_never_panics(words in proptest::collection::vec(
+        prop_oneof![
+            Just("program".to_string()), Just("param".to_string()),
+            Just("array".to_string()), Just("for".to_string()),
+            Just("when".to_string()), Just("=".to_string()),
+            Just("{".to_string()), Just("}".to_string()),
+            Just("[".to_string()), Just("]".to_string()),
+            Just(",".to_string()), Just("+".to_string()),
+            Just("N".to_string()), Just("i".to_string()),
+            Just("A".to_string()), Just("1".to_string()),
+            Just("max".to_string()), Just("f".to_string()),
+            Just("(".to_string()), Just(")".to_string()),
+        ], 0..40)) {
+        let s = words.join(" ");
+        let _ = gcr_frontend::parse(&s);
+    }
+}
+
+#[test]
+fn error_positions_are_reported() {
+    let err = gcr_frontend::parse("program x\nparam N\narray A[N]\nA[1] = @").unwrap_err();
+    assert_eq!(err.line, 4);
+    assert!(err.col > 1);
+}

@@ -1,0 +1,179 @@
+//! Ergonomic program construction, used by the application kernels and by
+//! tests. The builder hands out loop variables before their loops are built
+//! so that subscripts can reference them, and it allocates statement and
+//! reference ids.
+//!
+//! ```
+//! use gcr_ir::{ProgramBuilder, LinExpr, Subscript, Expr};
+//!
+//! let mut b = ProgramBuilder::new("copy");
+//! let n = b.param("N");
+//! let a = b.array("A", &[LinExpr::param(n)]);
+//! let c = b.array("B", &[LinExpr::param(n)]);
+//! let i = b.var("i");
+//! let rhs = b.read(a, vec![Subscript::var(i, 0)]);
+//! let body = vec![b.assign(c, vec![Subscript::var(i, 0)], rhs)];
+//! let l = b.for_(i, LinExpr::konst(1), LinExpr::param(n), body);
+//! b.push(l);
+//! let prog = b.finish();
+//! assert_eq!(prog.count_loops(), 1);
+//! ```
+
+use crate::expr::Expr;
+use crate::linexpr::LinExpr;
+use crate::program::{ArrayId, ParamDecl, ParamId, Program, VarId};
+use crate::stmt::{ArrayRef, Assign, AssignKind, GuardedStmt, Loop, ReduceOp, Stmt, Subscript};
+
+/// Incremental builder for [`Program`].
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    prog: Program,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder { prog: Program::new(name) }
+    }
+
+    /// Declares a size parameter.
+    pub fn param(&mut self, name: impl Into<String>) -> ParamId {
+        let id = ParamId::from_index(self.prog.params.len());
+        self.prog.params.push(ParamDecl { name: name.into() });
+        id
+    }
+
+    /// Declares an array with the given dimension extents (innermost first).
+    pub fn array(&mut self, name: impl Into<String>, dims: &[LinExpr]) -> ArrayId {
+        self.prog.add_array(name, dims.to_vec())
+    }
+
+    /// Declares a scalar (rank-0 array).
+    pub fn scalar(&mut self, name: impl Into<String>) -> ArrayId {
+        self.prog.add_array(name, Vec::new())
+    }
+
+    /// Declares a fresh loop variable.
+    pub fn var(&mut self, name: impl Into<String>) -> VarId {
+        self.prog.fresh_var(name)
+    }
+
+    /// Builds an array reference with a fresh reference id.
+    pub fn aref(&mut self, array: ArrayId, subs: Vec<Subscript>) -> ArrayRef {
+        ArrayRef { id: self.prog.fresh_ref_id(), array, subs }
+    }
+
+    /// Builds a read expression.
+    pub fn read(&mut self, array: ArrayId, subs: Vec<Subscript>) -> Expr {
+        let r = self.aref(array, subs);
+        Expr::Read(r)
+    }
+
+    /// Builds a scalar read.
+    pub fn read_scalar(&mut self, array: ArrayId) -> Expr {
+        self.read(array, Vec::new())
+    }
+
+    /// Builds a plain assignment statement.
+    pub fn assign(&mut self, array: ArrayId, subs: Vec<Subscript>, rhs: Expr) -> Stmt {
+        let lhs = self.aref(array, subs);
+        Stmt::Assign(Assign {
+            id: self.prog.fresh_stmt_id(),
+            lhs,
+            rhs,
+            kind: AssignKind::Normal,
+        })
+    }
+
+    /// Builds a reduction statement `lhs = lhs ⊕ rhs`.
+    pub fn reduce(
+        &mut self,
+        op: ReduceOp,
+        array: ArrayId,
+        subs: Vec<Subscript>,
+        rhs: Expr,
+    ) -> Stmt {
+        let lhs = self.aref(array, subs);
+        Stmt::Assign(Assign {
+            id: self.prog.fresh_stmt_id(),
+            lhs,
+            rhs,
+            kind: AssignKind::Reduce(op),
+        })
+    }
+
+    /// Builds a loop over a previously declared variable.
+    pub fn for_(&mut self, var: VarId, lo: LinExpr, hi: LinExpr, body: Vec<Stmt>) -> Stmt {
+        Stmt::Loop(Loop {
+            var,
+            lo,
+            hi,
+            body: body.into_iter().map(GuardedStmt::bare).collect(),
+        })
+    }
+
+    /// Appends a top-level statement.
+    pub fn push(&mut self, stmt: Stmt) {
+        self.prog.body.push(GuardedStmt::bare(stmt));
+    }
+
+    /// Allocates a fresh statement id (for callers assembling `Stmt` values
+    /// by hand, such as the parser).
+    pub fn fresh_stmt_id(&mut self) -> crate::program::StmtId {
+        self.prog.fresh_stmt_id()
+    }
+
+    /// Finishes and returns the program.
+    pub fn finish(self) -> Program {
+        self.prog
+    }
+
+    /// Read-only view of the program under construction.
+    pub fn program(&self) -> &Program {
+        &self.prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_two_loop_program() {
+        let mut b = ProgramBuilder::new("t");
+        let n = b.param("N");
+        let a = b.array("A", &[LinExpr::param(n)]);
+        let c = b.array("C", &[LinExpr::param(n)]);
+        let i = b.var("i");
+        let s1 = {
+            let rhs = b.read(a, vec![Subscript::var(i, -1)]);
+            b.assign(a, vec![Subscript::var(i, 0)], rhs)
+        };
+        let l1 = b.for_(i, LinExpr::konst(2), LinExpr::param(n), vec![s1]);
+        b.push(l1);
+        let j = b.var("j");
+        let s2 = {
+            let rhs = b.read(a, vec![Subscript::var(j, 0)]);
+            b.assign(c, vec![Subscript::var(j, 0)], rhs)
+        };
+        let l2 = b.for_(j, LinExpr::konst(1), LinExpr::param(n), vec![s2]);
+        b.push(l2);
+        let p = b.finish();
+        assert_eq!(p.count_loops(), 2);
+        assert_eq!(p.count_assigns(), 2);
+        assert_eq!(p.count_nests(), 2);
+        assert_eq!(p.max_depth(), 1);
+        // Every ref id unique.
+        let mut ids = Vec::new();
+        p.walk(|gs, _| {
+            if let Stmt::Assign(a) = &gs.stmt {
+                for (r, _) in a.refs() {
+                    ids.push(r.id.index());
+                }
+            }
+        });
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+}

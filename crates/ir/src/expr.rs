@@ -1,0 +1,180 @@
+//! Value expressions for assignment right-hand sides.
+//!
+//! Subscript arithmetic is deliberately *not* part of `Expr` — all addressing
+//! goes through [`crate::stmt::ArrayRef`] so that the dependence analysis
+//! only ever sees the restricted subscript forms of the paper. `Expr` is what
+//! the interpreter evaluates to produce floating-point values.
+
+use crate::linexpr::LinExpr;
+use crate::stmt::ArrayRef;
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// `sqrt`
+    Sqrt,
+    /// `abs`
+    Abs,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `max`
+    Max,
+    /// `min`
+    Min,
+}
+
+/// A value expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Floating constant.
+    Const(f64),
+    /// A loop-invariant integer expression used as a value (e.g. `N`).
+    Lin(LinExpr),
+    /// The current value of a loop variable, optionally offset: `i + k`.
+    /// Appears when alignment substitutes `i ↦ i − a` into value positions.
+    Var {
+        /// The loop variable.
+        var: crate::program::VarId,
+        /// Constant offset.
+        offset: i64,
+    },
+    /// An array (or scalar) read.
+    Read(ArrayRef),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// An opaque intrinsic call such as the paper's `f(...)`/`g(...)`. The
+    /// interpreter applies a fixed cheap arithmetic definition per name.
+    Call(&'static str, Vec<Expr>),
+}
+
+impl Expr {
+    /// An array read.
+    pub fn read(r: ArrayRef) -> Expr {
+        Expr::Read(r)
+    }
+
+    /// `a + b`
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(a), Box::new(b))
+    }
+
+    /// `a - b`
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b))
+    }
+
+    /// `a * b`
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
+    }
+
+    /// `a / b`
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Div, Box::new(a), Box::new(b))
+    }
+
+    /// Visits every `Read` in evaluation order (left to right, depth first).
+    pub fn visit_reads<'a>(&'a self, f: &mut impl FnMut(&'a ArrayRef)) {
+        match self {
+            Expr::Const(_) | Expr::Lin(_) | Expr::Var { .. } => {}
+            Expr::Read(r) => f(r),
+            Expr::Unary(_, e) => e.visit_reads(f),
+            Expr::Bin(_, a, b) => {
+                a.visit_reads(f);
+                b.visit_reads(f);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.visit_reads(f);
+                }
+            }
+        }
+    }
+
+    /// Mutable version of [`Expr::visit_reads`].
+    pub fn visit_reads_mut(&mut self, f: &mut impl FnMut(&mut ArrayRef)) {
+        match self {
+            Expr::Const(_) | Expr::Lin(_) | Expr::Var { .. } => {}
+            Expr::Read(r) => f(r),
+            Expr::Unary(_, e) => e.visit_reads_mut(f),
+            Expr::Bin(_, a, b) => {
+                a.visit_reads_mut(f);
+                b.visit_reads_mut(f);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.visit_reads_mut(f);
+                }
+            }
+        }
+    }
+
+    /// Counts the arithmetic operations in the expression (used by the cycle
+    /// cost model).
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Lin(_) | Expr::Var { .. } | Expr::Read(_) => 0,
+            Expr::Unary(_, e) => 1 + e.op_count(),
+            Expr::Bin(_, a, b) => 1 + a.op_count() + b.op_count(),
+            Expr::Call(_, args) => 2 + args.iter().map(Expr::op_count).sum::<usize>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ArrayId, RefId, VarId};
+    use crate::stmt::Subscript;
+
+    fn r(arr: u32) -> ArrayRef {
+        ArrayRef {
+            id: RefId::from_index(arr as usize),
+            array: ArrayId::from_index(arr as usize),
+            subs: vec![Subscript::var(VarId::from_index(0), 0)],
+        }
+    }
+
+    #[test]
+    fn visit_reads_in_order() {
+        let e = Expr::add(Expr::read(r(0)), Expr::mul(Expr::read(r(1)), Expr::read(r(2))));
+        let mut seen = Vec::new();
+        e.visit_reads(&mut |a| seen.push(a.array.index()));
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn op_count_counts_operators() {
+        let e = Expr::add(
+            Expr::Const(1.0),
+            Expr::Unary(UnOp::Sqrt, Box::new(Expr::read(r(0)))),
+        );
+        assert_eq!(e.op_count(), 2);
+        assert_eq!(Expr::Call("f", vec![Expr::Const(0.0)]).op_count(), 2);
+    }
+
+    #[test]
+    fn visit_reads_mut_can_rewrite() {
+        let mut e = Expr::read(r(0));
+        e.visit_reads_mut(&mut |a| a.array = ArrayId::from_index(5));
+        match e {
+            Expr::Read(a) => assert_eq!(a.array.index(), 5),
+            _ => unreachable!(),
+        }
+    }
+}

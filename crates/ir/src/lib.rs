@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! `gcr-ir` — the loop intermediate representation used throughout the
+//! global-cache-reuse compiler.
+//!
+//! The IR models the input language of Ding & Kennedy's IPPS'01 paper
+//! (*Improving Effective Bandwidth through Compiler Enhancement of Global
+//! Cache Reuse*), Figure 5:
+//!
+//! * a program is a list of loops and non-loop statements;
+//! * every array subscript is either `i + k` (loop variable plus a
+//!   loop-invariant constant) or a loop-invariant expression `k`;
+//! * loop bounds are linear in symbolic size parameters (`2`, `N - 1`, ...).
+//!
+//! Two extensions beyond the paper's Figure 5 make the transformed programs
+//! representable without external code generation:
+//!
+//! * every statement inside a loop carries an optional **guard range**
+//!   (the iterations of the enclosing loop for which it is active) — this is
+//!   how loop alignment, statement embedding and boundary peeling are
+//!   expressed after fusion;
+//! * scalar **reduction** assignments (`s = s + e`, `s = max(s, e)`) are
+//!   first-class so that kernels such as Tomcatv's residual computation stay
+//!   fusible.
+
+pub mod builder;
+pub mod expr;
+pub mod linexpr;
+pub mod print;
+pub mod program;
+pub mod stmt;
+pub mod subst;
+pub mod validate;
+
+pub use builder::ProgramBuilder;
+pub use expr::{BinOp, Expr, UnOp};
+pub use linexpr::{LinExpr, ParamBinding};
+pub use program::{ArrayDecl, ArrayId, ParamDecl, ParamId, Program, RefId, StmtId, VarDecl, VarId};
+pub use stmt::{ArrayRef, Assign, AssignKind, GuardedStmt, Loop, Range, ReduceOp, Stmt, Subscript};

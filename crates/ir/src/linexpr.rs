@@ -1,0 +1,370 @@
+//! Symbolic linear expressions `Σ cᵢ·Pᵢ + k` over size parameters.
+//!
+//! Loop bounds, guard ranges and alignment constraints are all values of
+//! [`LinExpr`]. The fusion legality test of the paper — "the alignment factor
+//! is a bounded constant" — becomes a check that a `LinExpr` has no parameter
+//! terms ([`LinExpr::as_const`]).
+
+use crate::program::ParamId;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A linear expression over size parameters: `Σ coeffᵢ · paramᵢ + constant`.
+///
+/// Terms are kept sorted by parameter id and never contain zero coefficients,
+/// so structural equality is semantic equality.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct LinExpr {
+    /// Sorted by `ParamId`, coefficients all non-zero.
+    terms: Vec<(ParamId, i64)>,
+    /// The constant part.
+    konst: i64,
+}
+
+/// A binding of concrete values to size parameters, used when evaluating
+/// bounds at execution time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParamBinding {
+    values: Vec<i64>,
+}
+
+impl ParamBinding {
+    /// Creates a binding assigning `values[i]` to the parameter with index `i`.
+    pub fn new(values: Vec<i64>) -> Self {
+        ParamBinding { values }
+    }
+
+    /// The value bound to `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` was not given a value.
+    pub fn get(&self, p: ParamId) -> i64 {
+        self.values[p.index()]
+    }
+
+    /// Number of bound parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters are bound.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl LinExpr {
+    /// The constant expression `k`.
+    pub fn konst(k: i64) -> Self {
+        LinExpr { terms: Vec::new(), konst: k }
+    }
+
+    /// The expression `1·p`.
+    pub fn param(p: ParamId) -> Self {
+        LinExpr { terms: vec![(p, 1)], konst: 0 }
+    }
+
+    /// The expression `c·p + k`.
+    pub fn affine(p: ParamId, c: i64, k: i64) -> Self {
+        if c == 0 {
+            Self::konst(k)
+        } else {
+            LinExpr { terms: vec![(p, c)], konst: k }
+        }
+    }
+
+    /// The constant zero.
+    pub fn zero() -> Self {
+        Self::konst(0)
+    }
+
+    /// The constant part of the expression.
+    pub fn constant_part(&self) -> i64 {
+        self.konst
+    }
+
+    /// The parameter terms `(param, coeff)`, sorted by parameter id.
+    pub fn terms(&self) -> &[(ParamId, i64)] {
+        &self.terms
+    }
+
+    /// Returns `Some(k)` when the expression is the constant `k`.
+    pub fn as_const(&self) -> Option<i64> {
+        if self.terms.is_empty() {
+            Some(self.konst)
+        } else {
+            None
+        }
+    }
+
+    /// True when the expression contains no parameter terms.
+    pub fn is_const(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The coefficient of `p` (zero when absent).
+    pub fn coeff(&self, p: ParamId) -> i64 {
+        self.terms
+            .binary_search_by_key(&p, |&(q, _)| q)
+            .map(|i| self.terms[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Evaluates under a parameter binding.
+    pub fn eval(&self, binding: &ParamBinding) -> i64 {
+        self.terms
+            .iter()
+            .map(|&(p, c)| c * binding.get(p))
+            .sum::<i64>()
+            + self.konst
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut out = Vec::with_capacity(self.terms.len() + other.terms.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.terms.len() && j < other.terms.len() {
+            match self.terms[i].0.cmp(&other.terms[j].0) {
+                Ordering::Less => {
+                    out.push(self.terms[i]);
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    out.push(other.terms[j]);
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    let c = self.terms[i].1 + other.terms[j].1;
+                    if c != 0 {
+                        out.push((self.terms[i].0, c));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.terms[i..]);
+        out.extend_from_slice(&other.terms[j..]);
+        LinExpr { terms: out, konst: self.konst + other.konst }
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.scale(-1))
+    }
+
+    /// `self + k`.
+    pub fn add_const(&self, k: i64) -> LinExpr {
+        LinExpr { terms: self.terms.clone(), konst: self.konst + k }
+    }
+
+    /// `s·self`.
+    pub fn scale(&self, s: i64) -> LinExpr {
+        if s == 0 {
+            return Self::zero();
+        }
+        LinExpr {
+            terms: self.terms.iter().map(|&(p, c)| (p, c * s)).collect(),
+            konst: self.konst * s,
+        }
+    }
+
+    /// Compares two expressions under the assumption that every parameter is
+    /// "large" (≫ any constant in the program) and that parameters with
+    /// smaller ids dominate. Returns `None` when the expressions involve
+    /// different parameters in a way that has no canonical order (never
+    /// happens for single-parameter programs).
+    ///
+    /// This is the order used to pick the hull of fused loop bounds: for
+    /// bounds like `2` vs `N - 1` it answers `Less` for any large `N`.
+    pub fn cmp_for_large_params(&self, other: &LinExpr) -> Option<Ordering> {
+        let d = self.sub(other);
+        match d.terms.len() {
+            0 => Some(d.konst.cmp(&0)),
+            1 => {
+                let (_, c) = d.terms[0];
+                Some(c.cmp(&0))
+            }
+            _ => None,
+        }
+    }
+
+    /// `max(self, other)` under the large-parameter order, `None` if
+    /// incomparable.
+    pub fn max_large(&self, other: &LinExpr) -> Option<LinExpr> {
+        self.cmp_for_large_params(other).map(|o| {
+            if o == Ordering::Less {
+                other.clone()
+            } else {
+                self.clone()
+            }
+        })
+    }
+
+    /// `min(self, other)` under the large-parameter order, `None` if
+    /// incomparable.
+    pub fn min_large(&self, other: &LinExpr) -> Option<LinExpr> {
+        self.cmp_for_large_params(other).map(|o| {
+            if o == Ordering::Greater {
+                other.clone()
+            } else {
+                self.clone()
+            }
+        })
+    }
+
+    /// Renders with parameter names supplied by `name`.
+    pub fn display_with<'a>(&'a self, name: &'a dyn Fn(ParamId) -> String) -> LinExprDisplay<'a> {
+        LinExprDisplay { expr: self, name }
+    }
+}
+
+impl fmt::Debug for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &(p, c) in &self.terms {
+            if first {
+                if c == -1 {
+                    write!(f, "-P{}", p.index())?;
+                } else if c == 1 {
+                    write!(f, "P{}", p.index())?;
+                } else {
+                    write!(f, "{}*P{}", c, p.index())?;
+                }
+            } else if c < 0 {
+                write!(f, " - {}*P{}", -c, p.index())?;
+            } else {
+                write!(f, " + {}*P{}", c, p.index())?;
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "{}", self.konst)?;
+        } else if self.konst > 0 {
+            write!(f, " + {}", self.konst)?;
+        } else if self.konst < 0 {
+            write!(f, " - {}", -self.konst)?;
+        }
+        Ok(())
+    }
+}
+
+/// Helper returned by [`LinExpr::display_with`].
+pub struct LinExprDisplay<'a> {
+    expr: &'a LinExpr,
+    name: &'a dyn Fn(ParamId) -> String,
+}
+
+impl fmt::Display for LinExprDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let e = self.expr;
+        let mut first = true;
+        for &(p, c) in &e.terms {
+            let n = (self.name)(p);
+            if first {
+                match c {
+                    1 => write!(f, "{n}")?,
+                    -1 => write!(f, "-{n}")?,
+                    _ => write!(f, "{c}*{n}")?,
+                }
+            } else if c < 0 {
+                write!(f, " - {}{}", if c == -1 { String::new() } else { format!("{}*", -c) }, n)?;
+            } else {
+                write!(f, " + {}{}", if c == 1 { String::new() } else { format!("{c}*") }, n)?;
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "{}", e.konst)?;
+        } else if e.konst > 0 {
+            write!(f, " + {}", e.konst)?;
+        } else if e.konst < 0 {
+            write!(f, " - {}", -e.konst)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ParamId {
+        ParamId::from_index(i as usize)
+    }
+
+    #[test]
+    fn constant_arithmetic() {
+        let a = LinExpr::konst(3);
+        let b = LinExpr::konst(-5);
+        assert_eq!(a.add(&b).as_const(), Some(-2));
+        assert_eq!(a.sub(&b).as_const(), Some(8));
+        assert_eq!(a.scale(4).as_const(), Some(12));
+        assert_eq!(a.add_const(7).as_const(), Some(10));
+    }
+
+    #[test]
+    fn param_terms_cancel() {
+        let n = LinExpr::param(p(0));
+        let e = n.add_const(3).sub(&n); // N + 3 - N = 3
+        assert_eq!(e.as_const(), Some(3));
+        assert!(e.is_const());
+    }
+
+    #[test]
+    fn mixed_params_merge_sorted() {
+        let e = LinExpr::affine(p(1), 2, 0).add(&LinExpr::affine(p(0), 1, 5));
+        assert_eq!(e.terms(), &[(p(0), 1), (p(1), 2)]);
+        assert_eq!(e.constant_part(), 5);
+    }
+
+    #[test]
+    fn eval_binds_params() {
+        let e = LinExpr::affine(p(0), 2, -3); // 2N - 3
+        let b = ParamBinding::new(vec![10]);
+        assert_eq!(e.eval(&b), 17);
+    }
+
+    #[test]
+    fn coeff_lookup() {
+        let e = LinExpr::affine(p(1), 7, 1);
+        assert_eq!(e.coeff(p(1)), 7);
+        assert_eq!(e.coeff(p(0)), 0);
+    }
+
+    #[test]
+    fn large_param_ordering() {
+        let n = LinExpr::param(p(0));
+        let two = LinExpr::konst(2);
+        // 2 < N - 1 for large N
+        assert_eq!(two.cmp_for_large_params(&n.add_const(-1)), Some(Ordering::Less));
+        // N - 1 vs N - 2
+        assert_eq!(
+            n.add_const(-1).cmp_for_large_params(&n.add_const(-2)),
+            Some(Ordering::Greater)
+        );
+        // equal
+        assert_eq!(n.cmp_for_large_params(&n), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn min_max_large() {
+        let n = LinExpr::param(p(0));
+        let lo = LinExpr::konst(2);
+        assert_eq!(lo.max_large(&n).unwrap(), n);
+        assert_eq!(lo.min_large(&n).unwrap(), lo);
+    }
+
+    #[test]
+    fn scale_by_zero_is_zero() {
+        let n = LinExpr::affine(p(0), 3, 9);
+        assert_eq!(n.scale(0), LinExpr::zero());
+    }
+
+    #[test]
+    fn debug_format() {
+        let e = LinExpr::affine(p(0), 1, -2);
+        assert_eq!(format!("{e:?}"), "P0 - 2");
+        assert_eq!(format!("{:?}", LinExpr::konst(4)), "4");
+    }
+}

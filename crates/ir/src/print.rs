@@ -1,0 +1,281 @@
+//! Pretty printer: renders a program as LoopLang source text. The output of
+//! the printer is accepted by `gcr-frontend`'s parser (round-trip property
+//! tested there), which is how transformed programs are inspected.
+
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::linexpr::LinExpr;
+use crate::program::Program;
+use crate::stmt::{ArrayRef, AssignKind, GuardedStmt, ReduceOp, Stmt, Subscript};
+use std::fmt::Write as _;
+
+/// Renders a whole program as LoopLang text.
+///
+/// Distinct loop variables may share a source name after fusion (two `j`
+/// loops from different nests can end up nested); such shadowed variables
+/// are printed with a disambiguating suffix so the text reparses.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program {}", p.name);
+    if !p.params.is_empty() {
+        let names: Vec<_> = p.params.iter().map(|d| d.name.clone()).collect();
+        let _ = writeln!(out, "param {}", names.join(", "));
+    }
+    let names = display_names(p);
+    let pr = Pr { p, names: &names };
+    for a in &p.arrays {
+        if a.is_scalar() {
+            let _ = writeln!(out, "scalar {}", a.name);
+        } else {
+            let dims: Vec<_> = a.dims.iter().map(|d| lin(&pr, d)).collect();
+            let _ = writeln!(out, "array {}[{}]", a.name, dims.join(", "));
+        }
+    }
+    let _ = writeln!(out);
+    print_stmts(&pr, &p.body, 0, &mut out);
+    out
+}
+
+/// Computes collision-free display names for loop variables: a loop whose
+/// declared name matches an enclosing loop's display name gets a numeric
+/// suffix.
+fn display_names(p: &Program) -> Vec<String> {
+    let mut names: Vec<String> = p.vars.iter().map(|v| v.name.clone()).collect();
+    fn walk(
+        p: &Program,
+        stmts: &[GuardedStmt],
+        active: &mut Vec<String>,
+        names: &mut Vec<String>,
+    ) {
+        for gs in stmts {
+            if let Stmt::Loop(l) = &gs.stmt {
+                let base = &p.var(l.var).name;
+                let mut name = base.clone();
+                let mut k = 1;
+                while active.contains(&name) {
+                    k += 1;
+                    name = format!("{base}_v{k}");
+                }
+                names[l.var.index()] = name.clone();
+                active.push(name);
+                walk(p, &l.body, active, names);
+                active.pop();
+            }
+        }
+    }
+    walk(p, &p.body, &mut Vec::new(), &mut names);
+    names
+}
+
+/// Program plus display names, threaded through the printing helpers.
+struct Pr<'a> {
+    p: &'a Program,
+    names: &'a [String],
+}
+
+fn lin(pr: &Pr<'_>, e: &LinExpr) -> String {
+    let p = pr.p;
+    let namer = |q: crate::program::ParamId| p.param(q).name.clone();
+    format!("{}", e.display_with(&namer))
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_stmts(p: &Pr<'_>, stmts: &[GuardedStmt], depth: usize, out: &mut String) {
+    for gs in stmts {
+        indent(out, depth);
+        for (v, r) in &gs.outer {
+            let _ = write!(
+                out,
+                "when {} in [{}, {}] ",
+                p.names[v.index()],
+                lin(p, &r.lo),
+                lin(p, &r.hi)
+            );
+        }
+        if let Some(g) = &gs.guard {
+            let _ = write!(out, "when [{}, {}] ", lin(p, &g.lo), lin(p, &g.hi));
+        }
+        match &gs.stmt {
+            Stmt::Assign(a) => {
+                let op = match a.kind {
+                    AssignKind::Normal => "=",
+                    AssignKind::Reduce(ReduceOp::Sum) => "sum=",
+                    AssignKind::Reduce(ReduceOp::Max) => "max=",
+                    AssignKind::Reduce(ReduceOp::Min) => "min=",
+                };
+                let _ = writeln!(out, "{} {} {}", aref(p, &a.lhs), op, expr(p, &a.rhs));
+            }
+            Stmt::Loop(l) => {
+                let _ = writeln!(
+                    out,
+                    "for {} = {}, {} {{",
+                    p.names[l.var.index()],
+                    lin(p, &l.lo),
+                    lin(p, &l.hi)
+                );
+                print_stmts(p, &l.body, depth + 1, out);
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+        }
+    }
+}
+
+fn aref(p: &Pr<'_>, r: &ArrayRef) -> String {
+    let name = &p.p.array(r.array).name;
+    if r.subs.is_empty() {
+        return name.clone();
+    }
+    let subs: Vec<_> = r.subs.iter().map(|s| sub(p, s)).collect();
+    format!("{}[{}]", name, subs.join(", "))
+}
+
+fn sub(p: &Pr<'_>, s: &Subscript) -> String {
+    match s {
+        Subscript::Var { var, offset } => {
+            let n = &p.names[var.index()];
+            match offset {
+                0 => n.clone(),
+                k if *k > 0 => format!("{n}+{k}"),
+                k => format!("{n}{k}"),
+            }
+        }
+        Subscript::Invariant(e) => lin(p, e),
+    }
+}
+
+/// Operator precedence for minimal parenthesization.
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Bin(BinOp::Add | BinOp::Sub, ..) => 1,
+        Expr::Var { offset, .. } if *offset != 0 => 1,
+        Expr::Lin(l) if l.as_const().is_none() && (l.terms().len() > 1 || l.constant_part() != 0) => 1,
+        Expr::Bin(BinOp::Mul | BinOp::Div, ..) => 2,
+        Expr::Unary(UnOp::Neg, _) => 3,
+        _ => 4,
+    }
+}
+
+fn expr(p: &Pr<'_>, e: &Expr) -> String {
+    match e {
+        Expr::Const(c) => {
+            if c.fract() == 0.0 && c.abs() < 1e15 {
+                format!("{:.1}", c)
+            } else {
+                format!("{c}")
+            }
+        }
+        Expr::Lin(l) => lin(p, l),
+        Expr::Var { var, offset } => {
+            let n = &p.names[var.index()];
+            match offset {
+                0 => n.clone(),
+                k if *k > 0 => format!("{n} + {k}"),
+                k => format!("{n} - {}", -k),
+            }
+        }
+        Expr::Read(r) => aref(p, r),
+        Expr::Unary(op, a) => {
+            let inner = sub_expr(p, a, 3);
+            match op {
+                UnOp::Neg => format!("-{inner}"),
+                UnOp::Sqrt => format!("sqrt({})", expr(p, a)),
+                UnOp::Abs => format!("abs({})", expr(p, a)),
+            }
+        }
+        Expr::Bin(op, a, b) => {
+            let (sym, pr) = match op {
+                BinOp::Add => ("+", 1),
+                BinOp::Sub => ("-", 1),
+                BinOp::Mul => ("*", 2),
+                BinOp::Div => ("/", 2),
+                BinOp::Max => return format!("max({}, {})", expr(p, a), expr(p, b)),
+                BinOp::Min => return format!("min({}, {})", expr(p, a), expr(p, b)),
+            };
+            // Right operand needs parens at equal precedence for - and /.
+            let l = sub_expr(p, a, pr);
+            let r = sub_expr(p, b, pr + 1);
+            format!("{l} {sym} {r}")
+        }
+        Expr::Call(name, args) => {
+            let args: Vec<_> = args.iter().map(|a| expr(p, a)).collect();
+            format!("{}({})", name, args.join(", "))
+        }
+    }
+}
+
+fn sub_expr(p: &Pr<'_>, e: &Expr, min_prec: u8) -> String {
+    let s = expr(p, e);
+    if prec(e) < min_prec {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::stmt::Range;
+
+    #[test]
+    fn prints_simple_program() {
+        let mut b = ProgramBuilder::new("demo");
+        let n = b.param("N");
+        let a = b.array("A", &[LinExpr::param(n)]);
+        let i = b.var("i");
+        let rhs = b.read(a, vec![Subscript::var(i, -1)]);
+        let rhs = Expr::Call("f", vec![rhs]);
+        let s = b.assign(a, vec![Subscript::var(i, 0)], rhs);
+        let l = b.for_(i, LinExpr::konst(3), LinExpr::param(n).add_const(-2), vec![s]);
+        b.push(l);
+        let txt = print_program(&b.finish());
+        assert!(txt.contains("program demo"));
+        assert!(txt.contains("array A[N]"));
+        assert!(txt.contains("for i = 3, N - 2 {"));
+        assert!(txt.contains("A[i] = f(A[i-1])"));
+    }
+
+    #[test]
+    fn prints_guards_and_reductions() {
+        let mut b = ProgramBuilder::new("g");
+        let n = b.param("N");
+        let a = b.array("A", &[LinExpr::param(n)]);
+        let r = b.scalar("rmax");
+        let i = b.var("i");
+        let e = b.read(a, vec![Subscript::var(i, 0)]);
+        let red = b.reduce(crate::stmt::ReduceOp::Max, r, vec![], e);
+        let mut l = match b.for_(i, LinExpr::konst(1), LinExpr::param(n), vec![red]) {
+            Stmt::Loop(l) => l,
+            _ => unreachable!(),
+        };
+        l.body[0].guard = Some(Range::consts(2, 2));
+        b.push(Stmt::Loop(l));
+        let txt = print_program(&b.finish());
+        assert!(txt.contains("when [2, 2] rmax max= A[i]"), "got:\n{txt}");
+        assert!(txt.contains("scalar rmax"));
+    }
+
+    #[test]
+    fn precedence_parens() {
+        let mut b = ProgramBuilder::new("p");
+        let n = b.param("N");
+        let a = b.array("A", &[LinExpr::param(n)]);
+        let i = b.var("i");
+        let x = b.read(a, vec![Subscript::var(i, 0)]);
+        let y = b.read(a, vec![Subscript::var(i, 1)]);
+        let z = b.read(a, vec![Subscript::var(i, 2)]);
+        // (x + y) * z must print with parens
+        let e = Expr::mul(Expr::add(x, y), z);
+        let s = b.assign(a, vec![Subscript::var(i, 0)], e);
+        let l = b.for_(i, LinExpr::konst(1), LinExpr::param(n).add_const(-2), vec![s]);
+        b.push(l);
+        let txt = print_program(&b.finish());
+        assert!(txt.contains("(A[i] + A[i+1]) * A[i+2]"), "got:\n{txt}");
+    }
+}

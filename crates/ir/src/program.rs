@@ -1,0 +1,272 @@
+//! Program container: declarations of parameters, arrays and loop variables,
+//! plus the top-level statement list.
+
+use crate::linexpr::LinExpr;
+use crate::stmt::GuardedStmt;
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Builds an id from a dense index.
+            pub fn from_index(i: usize) -> Self {
+                $name(u32::try_from(i).expect("id overflow"))
+            }
+
+            /// The dense index of this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A symbolic size parameter (e.g. `N`).
+    ParamId
+);
+id_type!(
+    /// A declared array (scalars are zero-dimensional arrays).
+    ArrayId
+);
+id_type!(
+    /// A loop variable. Every loop in a program has a distinct variable.
+    VarId
+);
+id_type!(
+    /// A static statement id. Transformations preserve statement ids so that
+    /// per-statement measurements (e.g. evadable-reuse classification) can be
+    /// compared before and after a transformation.
+    StmtId
+);
+id_type!(
+    /// A static array-reference id, one per textual `A[...]` occurrence.
+    RefId
+);
+
+/// Declaration of a size parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParamDecl {
+    /// Source-level name.
+    pub name: String,
+}
+
+/// Declaration of an array. Dimension sizes are listed from the innermost
+/// (contiguous, Fortran column-major) dimension outward: `A[d0][d1]` has `d0`
+/// contiguous.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Extent of each dimension, innermost first. Empty for scalars.
+    pub dims: Vec<LinExpr>,
+}
+
+impl ArrayDecl {
+    /// Number of dimensions (0 for scalars).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// True for scalar (rank-0) declarations.
+    pub fn is_scalar(&self) -> bool {
+        self.dims.is_empty()
+    }
+}
+
+/// Declaration of a loop variable (names are only used for printing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Source-level name.
+    pub name: String,
+}
+
+/// A whole program: declarations plus a top-level list of loops and non-loop
+/// statements (the paper's program model).
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Program name, used in reports.
+    pub name: String,
+    /// Size parameters.
+    pub params: Vec<ParamDecl>,
+    /// Arrays (and scalars).
+    pub arrays: Vec<ArrayDecl>,
+    /// Loop variables.
+    pub vars: Vec<VarDecl>,
+    /// Top-level statements. Their guards must be `None`.
+    pub body: Vec<GuardedStmt>,
+    /// Number of statement ids handed out (monotone; never reused).
+    pub next_stmt: u32,
+    /// Number of reference ids handed out.
+    pub next_ref: u32,
+}
+
+impl Program {
+    /// Creates an empty program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program { name: name.into(), ..Default::default() }
+    }
+
+    /// Looks up a parameter by name.
+    pub fn param_by_name(&self, name: &str) -> Option<ParamId> {
+        self.params.iter().position(|p| p.name == name).map(ParamId::from_index)
+    }
+
+    /// Looks up an array by name.
+    pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
+        self.arrays.iter().position(|a| a.name == name).map(ArrayId::from_index)
+    }
+
+    /// Looks up a loop variable by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars.iter().position(|v| v.name == name).map(VarId::from_index)
+    }
+
+    /// The declaration of `a`.
+    pub fn array(&self, a: ArrayId) -> &ArrayDecl {
+        &self.arrays[a.index()]
+    }
+
+    /// The declaration of `p`.
+    pub fn param(&self, p: ParamId) -> &ParamDecl {
+        &self.params[p.index()]
+    }
+
+    /// The declaration of `v`.
+    pub fn var(&self, v: VarId) -> &VarDecl {
+        &self.vars[v.index()]
+    }
+
+    /// Allocates a fresh statement id.
+    pub fn fresh_stmt_id(&mut self) -> StmtId {
+        let id = StmtId::from_index(self.next_stmt as usize);
+        self.next_stmt += 1;
+        id
+    }
+
+    /// Allocates a fresh reference id.
+    pub fn fresh_ref_id(&mut self) -> RefId {
+        let id = RefId::from_index(self.next_ref as usize);
+        self.next_ref += 1;
+        id
+    }
+
+    /// Allocates a fresh loop variable.
+    pub fn fresh_var(&mut self, name: impl Into<String>) -> VarId {
+        let id = VarId::from_index(self.vars.len());
+        self.vars.push(VarDecl { name: name.into() });
+        id
+    }
+
+    /// Adds an array declaration and returns its id.
+    pub fn add_array(&mut self, name: impl Into<String>, dims: Vec<LinExpr>) -> ArrayId {
+        let id = ArrayId::from_index(self.arrays.len());
+        self.arrays.push(ArrayDecl { name: name.into(), dims });
+        id
+    }
+
+    /// Iterates over all statements (pre-order, outermost first).
+    pub fn walk<'a>(&'a self, mut f: impl FnMut(&'a GuardedStmt, usize)) {
+        fn go<'a>(stmts: &'a [GuardedStmt], depth: usize, f: &mut impl FnMut(&'a GuardedStmt, usize)) {
+            for gs in stmts {
+                f(gs, depth);
+                if let crate::stmt::Stmt::Loop(l) = &gs.stmt {
+                    go(&l.body, depth + 1, f);
+                }
+            }
+        }
+        go(&self.body, 0, &mut f);
+    }
+
+    /// Total number of loops in the program.
+    pub fn count_loops(&self) -> usize {
+        let mut n = 0;
+        self.walk(|gs, _| {
+            if matches!(gs.stmt, crate::stmt::Stmt::Loop(_)) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Number of *top-level* loop nests.
+    pub fn count_nests(&self) -> usize {
+        self.body
+            .iter()
+            .filter(|gs| matches!(gs.stmt, crate::stmt::Stmt::Loop(_)))
+            .count()
+    }
+
+    /// Maximum loop nesting depth.
+    pub fn max_depth(&self) -> usize {
+        let mut m = 0;
+        self.walk(|gs, d| {
+            if matches!(gs.stmt, crate::stmt::Stmt::Loop(_)) {
+                m = m.max(d + 1);
+            }
+        });
+        m
+    }
+
+    /// Number of assignment statements.
+    pub fn count_assigns(&self) -> usize {
+        let mut n = 0;
+        self.walk(|gs, _| {
+            if matches!(gs.stmt, crate::stmt::Stmt::Assign(_)) {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::LinExpr;
+
+    #[test]
+    fn id_round_trip() {
+        let a = ArrayId::from_index(7);
+        assert_eq!(a.index(), 7);
+        assert_eq!(format!("{a:?}"), "ArrayId(7)");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut p = Program::new("t");
+        p.params.push(ParamDecl { name: "N".into() });
+        let a = p.add_array("A", vec![LinExpr::param(ParamId::from_index(0))]);
+        assert_eq!(p.param_by_name("N"), Some(ParamId::from_index(0)));
+        assert_eq!(p.array_by_name("A"), Some(a));
+        assert_eq!(p.array_by_name("B"), None);
+        assert_eq!(p.array(a).rank(), 1);
+    }
+
+    #[test]
+    fn fresh_ids_are_dense() {
+        let mut p = Program::new("t");
+        assert_eq!(p.fresh_stmt_id().index(), 0);
+        assert_eq!(p.fresh_stmt_id().index(), 1);
+        assert_eq!(p.fresh_ref_id().index(), 0);
+        let v = p.fresh_var("i");
+        assert_eq!(p.var(v).name, "i");
+    }
+
+    #[test]
+    fn scalar_is_rank_zero() {
+        let d = ArrayDecl { name: "s".into(), dims: vec![] };
+        assert!(d.is_scalar());
+        assert_eq!(d.rank(), 0);
+    }
+}

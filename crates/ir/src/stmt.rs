@@ -1,0 +1,288 @@
+//! Statements: assignments (possibly reductions), loops, guard ranges and
+//! array references.
+
+use crate::expr::Expr;
+use crate::linexpr::{LinExpr, ParamBinding};
+use crate::program::{ArrayId, RefId, StmtId, VarId};
+
+/// One subscript position of an array reference. Per the paper's input
+/// assumptions (Figure 5) a subscript is either a loop variable plus a
+/// constant offset, or a loop-invariant linear expression.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Subscript {
+    /// `i + offset` for loop variable `i`.
+    Var {
+        /// The loop variable.
+        var: VarId,
+        /// The constant offset `k` in `i + k`.
+        offset: i64,
+    },
+    /// A loop-invariant subscript such as `1` or `N - 1`.
+    Invariant(LinExpr),
+}
+
+impl Subscript {
+    /// Shorthand for `i + k`.
+    pub fn var(var: VarId, offset: i64) -> Self {
+        Subscript::Var { var, offset }
+    }
+
+    /// Shorthand for a constant subscript.
+    pub fn konst(k: i64) -> Self {
+        Subscript::Invariant(LinExpr::konst(k))
+    }
+
+    /// The loop variable used, if any.
+    pub fn var_id(&self) -> Option<VarId> {
+        match self {
+            Subscript::Var { var, .. } => Some(*var),
+            Subscript::Invariant(_) => None,
+        }
+    }
+}
+
+/// A static array reference `A[s0, s1, ...]` (subscripts innermost-dimension
+/// first, matching [`crate::program::ArrayDecl::dims`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrayRef {
+    /// Unique id of this textual reference.
+    pub id: RefId,
+    /// Referenced array.
+    pub array: ArrayId,
+    /// One subscript per dimension.
+    pub subs: Vec<Subscript>,
+}
+
+/// Reduction operators for `AssignKind::Reduce`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// `lhs = lhs + rhs`
+    Sum,
+    /// `lhs = max(lhs, rhs)`
+    Max,
+    /// `lhs = min(lhs, rhs)`
+    Min,
+}
+
+/// Whether an assignment is a plain store or an associative update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AssignKind {
+    /// `lhs = rhs`
+    Normal,
+    /// `lhs = lhs ⊕ rhs`; instances commute with each other, which keeps
+    /// reduction loops fusible.
+    Reduce(ReduceOp),
+}
+
+/// An assignment statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Assign {
+    /// Static statement id (stable across transformations).
+    pub id: StmtId,
+    /// Store target.
+    pub lhs: ArrayRef,
+    /// Value expression.
+    pub rhs: Expr,
+    /// Plain store or reduction.
+    pub kind: AssignKind,
+}
+
+impl Assign {
+    /// All array references: the lhs followed by every read in the rhs. For
+    /// reductions the lhs is also a read.
+    pub fn refs(&self) -> Vec<(&ArrayRef, bool)> {
+        let mut out: Vec<(&ArrayRef, bool)> = Vec::new();
+        if matches!(self.kind, AssignKind::Reduce(_)) {
+            out.push((&self.lhs, false)); // reduction reads its target first
+        }
+        self.rhs.visit_reads(&mut |r| out.push((r, false)));
+        out.push((&self.lhs, true));
+        out
+    }
+}
+
+/// An inclusive iteration range `[lo, hi]` in some loop's iteration space.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Range {
+    /// Lower bound (inclusive).
+    pub lo: LinExpr,
+    /// Upper bound (inclusive).
+    pub hi: LinExpr,
+}
+
+impl Range {
+    /// Builds a range.
+    pub fn new(lo: LinExpr, hi: LinExpr) -> Self {
+        Range { lo, hi }
+    }
+
+    /// A single-iteration range `[at, at]`.
+    pub fn single(at: LinExpr) -> Self {
+        Range { lo: at.clone(), hi: at }
+    }
+
+    /// Constant range helper.
+    pub fn consts(lo: i64, hi: i64) -> Self {
+        Range { lo: LinExpr::konst(lo), hi: LinExpr::konst(hi) }
+    }
+
+    /// Shifts both bounds by `k`.
+    pub fn shift(&self, k: i64) -> Range {
+        Range { lo: self.lo.add_const(k), hi: self.hi.add_const(k) }
+    }
+
+    /// Evaluates to a concrete `(lo, hi)` pair.
+    pub fn eval(&self, b: &ParamBinding) -> (i64, i64) {
+        (self.lo.eval(b), self.hi.eval(b))
+    }
+
+    /// True when the range is empty for all large parameter values (best
+    /// effort: compares bounds under the large-parameter order).
+    pub fn is_empty_large(&self) -> bool {
+        matches!(
+            self.lo.cmp_for_large_params(&self.hi),
+            Some(std::cmp::Ordering::Greater)
+        )
+    }
+}
+
+/// A `for var = lo, hi` loop (Fortran-style inclusive bounds, unit step).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Loop {
+    /// Loop variable; unique within the program.
+    pub var: VarId,
+    /// Lower bound, inclusive.
+    pub lo: LinExpr,
+    /// Upper bound, inclusive.
+    pub hi: LinExpr,
+    /// Body statements (each possibly guarded).
+    pub body: Vec<GuardedStmt>,
+}
+
+impl Loop {
+    /// The loop's iteration range.
+    pub fn range(&self) -> Range {
+        Range { lo: self.lo.clone(), hi: self.hi.clone() }
+    }
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Assignment (or reduction).
+    Assign(Assign),
+    /// Loop.
+    Loop(Loop),
+}
+
+impl Stmt {
+    /// Convenience accessor.
+    pub fn as_loop(&self) -> Option<&Loop> {
+        match self {
+            Stmt::Loop(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor.
+    pub fn as_assign(&self) -> Option<&Assign> {
+        match self {
+            Stmt::Assign(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A statement plus the guards restricting the iterations in which it is
+/// active. `guard: None` means active in every iteration of the enclosing
+/// loop; `outer` adds activity ranges over *enclosing* (outer) loop
+/// variables, which arise when inner loops whose outer alignments differ
+/// are fused.
+///
+/// Guards are how fusion expresses alignment, embedding and peeling: after
+/// fusing two loops, members of the second loop carry shifted guard ranges;
+/// an embedded non-loop statement carries a single-iteration guard.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GuardedStmt {
+    /// The statement.
+    pub stmt: Stmt,
+    /// Active range over the enclosing loop's variable (`None` = always).
+    pub guard: Option<Range>,
+    /// Additional activity ranges over outer loop variables.
+    pub outer: Vec<(VarId, Range)>,
+}
+
+impl GuardedStmt {
+    /// An unguarded statement.
+    pub fn bare(stmt: Stmt) -> Self {
+        GuardedStmt { stmt, guard: None, outer: Vec::new() }
+    }
+
+    /// A guarded statement.
+    pub fn guarded(stmt: Stmt, guard: Range) -> Self {
+        GuardedStmt { stmt, guard: Some(guard), outer: Vec::new() }
+    }
+
+    /// The activity range for `var`, if restricted: the enclosing-loop
+    /// guard when `var` matches `enclosing`, else the matching outer entry.
+    pub fn range_for(&self, var: VarId, enclosing: VarId) -> Option<&Range> {
+        if var == enclosing {
+            self.guard.as_ref()
+        } else {
+            self.outer.iter().find(|(v, _)| *v == var).map(|(_, r)| r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::program::{ArrayId, RefId, StmtId};
+
+    fn aref(arr: u32, sub: Subscript) -> ArrayRef {
+        ArrayRef {
+            id: RefId::from_index(0),
+            array: ArrayId::from_index(arr as usize),
+            subs: vec![sub],
+        }
+    }
+
+    #[test]
+    fn assign_refs_order_reads_then_write() {
+        let v = VarId::from_index(0);
+        let a = Assign {
+            id: StmtId::from_index(0),
+            lhs: aref(0, Subscript::var(v, 0)),
+            rhs: Expr::read(aref(1, Subscript::var(v, -1))),
+            kind: AssignKind::Normal,
+        };
+        let refs = a.refs();
+        assert_eq!(refs.len(), 2);
+        assert!(!refs[0].1, "read first");
+        assert!(refs[1].1, "write last");
+    }
+
+    #[test]
+    fn reduction_reads_its_target() {
+        let v = VarId::from_index(0);
+        let a = Assign {
+            id: StmtId::from_index(0),
+            lhs: aref(0, Subscript::konst(0)),
+            rhs: Expr::read(aref(1, Subscript::var(v, 0))),
+            kind: AssignKind::Reduce(ReduceOp::Sum),
+        };
+        let refs = a.refs();
+        assert_eq!(refs.len(), 3);
+        assert_eq!(refs[0].0.array.index(), 0);
+        assert!(!refs[0].1);
+    }
+
+    #[test]
+    fn range_shift_and_empty() {
+        let r = Range::consts(2, 5).shift(3);
+        assert_eq!(r, Range::consts(5, 8));
+        assert!(Range::consts(4, 3).is_empty_large());
+        assert!(!Range::consts(3, 3).is_empty_large());
+    }
+}

@@ -1,0 +1,201 @@
+//! Variable substitution utilities used by the loop transformations.
+//!
+//! * [`rename_shift_var`] — replace every occurrence of `from + k` by
+//!   `to + (k + delta)`. Loop alignment by factor `a` (the second loop's
+//!   iteration `x` runs at fused iteration `t = x + a`) is
+//!   `rename_shift_var(stmt, x, t, -a)`.
+//! * [`instantiate_var`] — replace a loop variable by a loop-invariant value;
+//!   used to peel a single (possibly symbolic, e.g. `N − 1`) iteration of a
+//!   loop into standalone statements.
+
+use crate::expr::Expr;
+use crate::linexpr::LinExpr;
+use crate::program::VarId;
+use crate::stmt::{ArrayRef, Stmt, Subscript};
+
+fn rewrite_ref_shift(r: &mut ArrayRef, from: VarId, to: VarId, delta: i64) {
+    for s in &mut r.subs {
+        if let Subscript::Var { var, offset } = s {
+            if *var == from {
+                *var = to;
+                *offset += delta;
+            }
+        }
+    }
+}
+
+fn rewrite_expr_shift(e: &mut Expr, from: VarId, to: VarId, delta: i64) {
+    if let Expr::Var { var, offset } = e {
+        if *var == from {
+            *var = to;
+            *offset += delta;
+        }
+        return;
+    }
+    match e {
+        Expr::Unary(_, a) => rewrite_expr_shift(a, from, to, delta),
+        Expr::Bin(_, a, b) => {
+            rewrite_expr_shift(a, from, to, delta);
+            rewrite_expr_shift(b, from, to, delta);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                rewrite_expr_shift(a, from, to, delta);
+            }
+        }
+        Expr::Read(r) => rewrite_ref_shift(r, from, to, delta),
+        Expr::Const(_) | Expr::Lin(_) | Expr::Var { .. } => {}
+    }
+}
+
+/// Replaces every occurrence of `from + k` (in subscripts and value
+/// positions) by `to + (k + delta)`, recursing into nested loops. Outer
+/// guard entries on nested members referencing `from` are renamed and their
+/// ranges shifted accordingly (`from ∈ R  ⇔  to ∈ R − delta`).
+pub fn rename_shift_var(stmt: &mut Stmt, from: VarId, to: VarId, delta: i64) {
+    match stmt {
+        Stmt::Assign(a) => {
+            rewrite_ref_shift(&mut a.lhs, from, to, delta);
+            rewrite_expr_shift(&mut a.rhs, from, to, delta);
+        }
+        Stmt::Loop(l) => {
+            debug_assert_ne!(l.var, from, "shadowed loop variable");
+            for gs in &mut l.body {
+                for (v, r) in &mut gs.outer {
+                    if *v == from {
+                        *v = to;
+                        *r = r.shift(-delta);
+                    }
+                }
+                rename_shift_var(&mut gs.stmt, from, to, delta);
+            }
+        }
+    }
+}
+
+/// True when any nested member carries an outer-guard entry for `var`.
+pub fn has_outer_entry_for(stmt: &Stmt, var: VarId) -> bool {
+    match stmt {
+        Stmt::Assign(_) => false,
+        Stmt::Loop(l) => l.body.iter().any(|gs| {
+            gs.outer.iter().any(|(v, _)| *v == var) || has_outer_entry_for(&gs.stmt, var)
+        }),
+    }
+}
+
+fn instantiate_ref(r: &mut ArrayRef, var: VarId, value: &LinExpr) {
+    for s in &mut r.subs {
+        if let Subscript::Var { var: v, offset } = s {
+            if *v == var {
+                *s = Subscript::Invariant(value.add_const(*offset));
+            }
+        }
+    }
+}
+
+fn instantiate_expr(e: &mut Expr, var: VarId, value: &LinExpr) {
+    if let Expr::Var { var: v, offset } = e {
+        if *v == var {
+            *e = Expr::Lin(value.add_const(*offset));
+        }
+        return;
+    }
+    match e {
+        Expr::Unary(_, a) => instantiate_expr(a, var, value),
+        Expr::Bin(_, a, b) => {
+            instantiate_expr(a, var, value);
+            instantiate_expr(b, var, value);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                instantiate_expr(a, var, value);
+            }
+        }
+        Expr::Read(r) => instantiate_ref(r, var, value),
+        Expr::Const(_) | Expr::Lin(_) | Expr::Var { .. } => {}
+    }
+}
+
+/// Replaces a loop variable by a loop-invariant value everywhere in `stmt`.
+pub fn instantiate_var(stmt: &mut Stmt, var: VarId, value: &LinExpr) {
+    match stmt {
+        Stmt::Assign(a) => {
+            instantiate_ref(&mut a.lhs, var, value);
+            instantiate_expr(&mut a.rhs, var, value);
+        }
+        Stmt::Loop(l) => {
+            debug_assert_ne!(l.var, var, "shadowed loop variable");
+            for gs in &mut l.body {
+                instantiate_var(&mut gs.stmt, var, value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ArrayId, ParamId, RefId, StmtId};
+    use crate::stmt::{Assign, AssignKind};
+
+    fn stmt(sub: Subscript, rhs_sub: Subscript) -> Stmt {
+        Stmt::Assign(Assign {
+            id: StmtId::from_index(0),
+            lhs: ArrayRef { id: RefId::from_index(0), array: ArrayId::from_index(0), subs: vec![sub] },
+            rhs: Expr::Read(ArrayRef {
+                id: RefId::from_index(1),
+                array: ArrayId::from_index(1),
+                subs: vec![rhs_sub],
+            }),
+            kind: AssignKind::Normal,
+        })
+    }
+
+    #[test]
+    fn shift_rewrites_subscripts() {
+        let x = VarId::from_index(0);
+        let t = VarId::from_index(1);
+        // A[x] = B[x+1]; substitute x = t - 2 (alignment a = 2)
+        let mut s = stmt(Subscript::var(x, 0), Subscript::var(x, 1));
+        rename_shift_var(&mut s, x, t, -2);
+        let a = s.as_assign().unwrap();
+        assert_eq!(a.lhs.subs[0], Subscript::var(t, -2));
+        match &a.rhs {
+            Expr::Read(r) => assert_eq!(r.subs[0], Subscript::var(t, -1)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn shift_leaves_other_vars() {
+        let x = VarId::from_index(0);
+        let y = VarId::from_index(5);
+        let t = VarId::from_index(1);
+        let mut s = stmt(Subscript::var(y, 0), Subscript::var(x, 0));
+        rename_shift_var(&mut s, x, t, 3);
+        let a = s.as_assign().unwrap();
+        assert_eq!(a.lhs.subs[0], Subscript::var(y, 0));
+    }
+
+    #[test]
+    fn instantiate_produces_invariant() {
+        let x = VarId::from_index(0);
+        let n = LinExpr::param(ParamId::from_index(0));
+        let mut s = stmt(Subscript::var(x, 0), Subscript::var(x, -1));
+        instantiate_var(&mut s, x, &n); // peel iteration x = N
+        let a = s.as_assign().unwrap();
+        assert_eq!(a.lhs.subs[0], Subscript::Invariant(n.clone()));
+        match &a.rhs {
+            Expr::Read(r) => assert_eq!(r.subs[0], Subscript::Invariant(n.add_const(-1))),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn instantiate_value_position() {
+        let x = VarId::from_index(0);
+        let mut e = Expr::Var { var: x, offset: 2 };
+        instantiate_expr(&mut e, x, &LinExpr::konst(7));
+        assert_eq!(e, Expr::Lin(LinExpr::konst(9)));
+    }
+}

@@ -1,0 +1,222 @@
+//! Structural validation of programs: scoping, ranks, and the paper's
+//! subscript model (Figure 5). Transformations validate their output in
+//! tests, so a bug that produces an ill-formed program is caught early.
+
+use crate::expr::Expr;
+use crate::program::{Program, VarId};
+use crate::stmt::{ArrayRef, GuardedStmt, Stmt};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// An `A[...]` has the wrong number of subscripts.
+    RankMismatch {
+        /// Array name.
+        array: String,
+        /// Declared rank.
+        expected: usize,
+        /// Number of subscripts at the reference.
+        got: usize,
+    },
+    /// A subscript uses a loop variable that is not in scope.
+    UnboundVar {
+        /// Variable name.
+        var: String,
+    },
+    /// Two loops share a loop variable.
+    DuplicateLoopVar {
+        /// Variable name.
+        var: String,
+    },
+    /// A top-level statement has a guard.
+    TopLevelGuard,
+    /// An array id is out of range.
+    UnknownArray,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::RankMismatch { array, expected, got } => {
+                write!(f, "array {array}: expected {expected} subscripts, got {got}")
+            }
+            ValidateError::UnboundVar { var } => write!(f, "loop variable {var} not in scope"),
+            ValidateError::DuplicateLoopVar { var } => {
+                write!(f, "loop variable {var} used by more than one loop")
+            }
+            ValidateError::TopLevelGuard => write!(f, "top-level statement has a guard"),
+            ValidateError::UnknownArray => write!(f, "array id out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+struct Validator<'p> {
+    prog: &'p Program,
+    scope: Vec<VarId>,
+    seen_loop_vars: HashSet<VarId>,
+    errors: Vec<ValidateError>,
+}
+
+impl<'p> Validator<'p> {
+    fn check_ref(&mut self, r: &ArrayRef) {
+        if r.array.index() >= self.prog.arrays.len() {
+            self.errors.push(ValidateError::UnknownArray);
+            return;
+        }
+        let decl = self.prog.array(r.array);
+        if decl.rank() != r.subs.len() {
+            self.errors.push(ValidateError::RankMismatch {
+                array: decl.name.clone(),
+                expected: decl.rank(),
+                got: r.subs.len(),
+            });
+        }
+        for s in &r.subs {
+            if let Some(v) = s.var_id() {
+                if !self.scope.contains(&v) {
+                    self.errors.push(ValidateError::UnboundVar {
+                        var: self.prog.var(v).name.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn check_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Read(r) => self.check_ref(r),
+            Expr::Var { var, .. } => {
+                if !self.scope.contains(var) {
+                    self.errors.push(ValidateError::UnboundVar {
+                        var: self.prog.var(*var).name.clone(),
+                    });
+                }
+            }
+            Expr::Unary(_, a) => self.check_expr(a),
+            Expr::Bin(_, a, b) => {
+                self.check_expr(a);
+                self.check_expr(b);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    self.check_expr(a);
+                }
+            }
+            Expr::Const(_) | Expr::Lin(_) => {}
+        }
+    }
+
+    fn check_stmts(&mut self, stmts: &[GuardedStmt], top: bool) {
+        for gs in stmts {
+            if top && (gs.guard.is_some() || !gs.outer.is_empty()) {
+                self.errors.push(ValidateError::TopLevelGuard);
+            }
+            for (v, _) in &gs.outer {
+                if !self.scope.contains(v) {
+                    self.errors.push(ValidateError::UnboundVar {
+                        var: self.prog.var(*v).name.clone(),
+                    });
+                }
+            }
+            match &gs.stmt {
+                Stmt::Assign(a) => {
+                    self.check_ref(&a.lhs);
+                    self.check_expr(&a.rhs);
+                }
+                Stmt::Loop(l) => {
+                    if !self.seen_loop_vars.insert(l.var) {
+                        self.errors.push(ValidateError::DuplicateLoopVar {
+                            var: self.prog.var(l.var).name.clone(),
+                        });
+                    }
+                    self.scope.push(l.var);
+                    self.check_stmts(&l.body, false);
+                    self.scope.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Validates a program, returning every problem found.
+pub fn validate(prog: &Program) -> Result<(), Vec<ValidateError>> {
+    let mut v = Validator {
+        prog,
+        scope: Vec::new(),
+        seen_loop_vars: HashSet::new(),
+        errors: Vec::new(),
+    };
+    v.check_stmts(&prog.body, true);
+    if v.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(v.errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::linexpr::LinExpr;
+    use crate::stmt::Subscript;
+
+    #[test]
+    fn valid_program_passes() {
+        let mut b = ProgramBuilder::new("t");
+        let n = b.param("N");
+        let a = b.array("A", &[LinExpr::param(n)]);
+        let i = b.var("i");
+        let rhs = b.read(a, vec![Subscript::var(i, -1)]);
+        let s = b.assign(a, vec![Subscript::var(i, 0)], rhs);
+        let l = b.for_(i, LinExpr::konst(2), LinExpr::param(n), vec![s]);
+        b.push(l);
+        assert!(validate(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn rank_mismatch_detected() {
+        let mut b = ProgramBuilder::new("t");
+        let n = b.param("N");
+        let a = b.array("A", &[LinExpr::param(n), LinExpr::param(n)]);
+        let i = b.var("i");
+        let s = b.assign(a, vec![Subscript::var(i, 0)], crate::expr::Expr::Const(0.0));
+        let l = b.for_(i, LinExpr::konst(1), LinExpr::param(n), vec![s]);
+        b.push(l);
+        let errs = validate(&b.finish()).unwrap_err();
+        assert!(matches!(errs[0], ValidateError::RankMismatch { .. }));
+    }
+
+    #[test]
+    fn unbound_var_detected() {
+        let mut b = ProgramBuilder::new("t");
+        let n = b.param("N");
+        let a = b.array("A", &[LinExpr::param(n)]);
+        let i = b.var("i");
+        // statement uses i but is at top level
+        let s = b.assign(a, vec![Subscript::var(i, 0)], crate::expr::Expr::Const(0.0));
+        b.push(s);
+        let errs = validate(&b.finish()).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::UnboundVar { .. })));
+    }
+
+    #[test]
+    fn duplicate_loop_var_detected() {
+        let mut b = ProgramBuilder::new("t");
+        let n = b.param("N");
+        let a = b.array("A", &[LinExpr::param(n)]);
+        let i = b.var("i");
+        let s1 = b.assign(a, vec![Subscript::var(i, 0)], crate::expr::Expr::Const(0.0));
+        let s2 = b.assign(a, vec![Subscript::var(i, 0)], crate::expr::Expr::Const(1.0));
+        let l1 = b.for_(i, LinExpr::konst(1), LinExpr::param(n), vec![s1]);
+        let l2 = b.for_(i, LinExpr::konst(1), LinExpr::param(n), vec![s2]);
+        b.push(l1);
+        b.push(l2);
+        let errs = validate(&b.finish()).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::DuplicateLoopVar { .. })));
+    }
+}

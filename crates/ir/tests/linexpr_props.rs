@@ -1,0 +1,70 @@
+//! Algebraic laws of the symbolic linear expressions.
+
+use gcr_ir::{LinExpr, ParamBinding};
+use gcr_ir::ParamId;
+use proptest::prelude::*;
+
+/// Arbitrary linear expression over two parameters.
+fn lin() -> impl Strategy<Value = LinExpr> {
+    (-50i64..50, -50i64..50, -100i64..100).prop_map(|(a, b, k)| {
+        LinExpr::affine(ParamId::from_index(0), a, 0)
+            .add(&LinExpr::affine(ParamId::from_index(1), b, k))
+    })
+}
+
+fn bindings() -> impl Strategy<Value = ParamBinding> {
+    (1i64..100, 1i64..100).prop_map(|(x, y)| ParamBinding::new(vec![x, y]))
+}
+
+proptest! {
+    /// Evaluation is a ring homomorphism: eval distributes over +, −, ·c.
+    #[test]
+    fn eval_homomorphism(a in lin(), b in lin(), s in -5i64..5, bind in bindings()) {
+        prop_assert_eq!(a.add(&b).eval(&bind), a.eval(&bind) + b.eval(&bind));
+        prop_assert_eq!(a.sub(&b).eval(&bind), a.eval(&bind) - b.eval(&bind));
+        prop_assert_eq!(a.scale(s).eval(&bind), s * a.eval(&bind));
+        prop_assert_eq!(a.add_const(s).eval(&bind), a.eval(&bind) + s);
+    }
+
+    /// Structural equality is semantic equality: a − a = 0, a + b − b = a.
+    #[test]
+    fn cancellation(a in lin(), b in lin()) {
+        prop_assert_eq!(a.sub(&a), LinExpr::zero());
+        prop_assert_eq!(a.add(&b).sub(&b), a.clone());
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    /// The large-parameter order is sound: when it says Less, evaluation at
+    /// large parameter values agrees.
+    #[test]
+    fn large_order_sound(a in lin(), b in lin()) {
+        if let Some(ord) = a.cmp_for_large_params(&b) {
+            let big = ParamBinding::new(vec![1_000_000, 1_000]);
+            // Single-parameter comparisons are decided by the dominant
+            // parameter; skip genuinely mixed cases (the implementation
+            // returns None for those).
+            let d = a.sub(&b);
+            if d.terms().len() <= 1 {
+                let (x, y) = (a.eval(&big), b.eval(&big));
+                match ord {
+                    std::cmp::Ordering::Less => prop_assert!(x < y, "{a:?} vs {b:?}"),
+                    std::cmp::Ordering::Greater => prop_assert!(x > y, "{a:?} vs {b:?}"),
+                    std::cmp::Ordering::Equal => prop_assert_eq!(x, y),
+                }
+            }
+        }
+    }
+
+    /// min/max under the large order bracket both operands.
+    #[test]
+    fn min_max_bracket(a in lin(), b in lin()) {
+        if let (Some(lo), Some(hi)) = (a.min_large(&b), a.max_large(&b)) {
+            let big = ParamBinding::new(vec![999_983, 1_009]);
+            if a.sub(&b).terms().len() <= 1 {
+                prop_assert!(lo.eval(&big) <= hi.eval(&big));
+                prop_assert!(lo.eval(&big) <= a.eval(&big) && lo.eval(&big) <= b.eval(&big));
+                prop_assert!(hi.eval(&big) >= a.eval(&big) && hi.eval(&big) >= b.eval(&big));
+            }
+        }
+    }
+}

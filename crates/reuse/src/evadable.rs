@@ -1,0 +1,115 @@
+//! Evadable-reuse classification (Section 2.2).
+//!
+//! "We call those reuses whose reuse distance increases with the input size
+//! *evadable* reuses." The classification therefore needs the same program
+//! measured at two input sizes: a static reference whose mean reuse distance
+//! grows (super-constantly) between the sizes is evadable, and all its
+//! dynamic reuses at the larger size count as evadable reuses.
+
+use crate::distance::PerRef;
+use gcr_ir::RefId;
+use std::collections::HashMap;
+
+/// Per-static-reference measurement at one input size.
+pub type RefStats = HashMap<RefId, PerRef>;
+
+/// Result of an evadable-reuse comparison.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EvadableReport {
+    /// Dynamic references (at the larger size) whose static reference is
+    /// evadable.
+    pub evadable_refs: u64,
+    /// Total dynamic references at the larger size (including cold).
+    pub total_refs: u64,
+    /// Number of static references classified evadable.
+    pub evadable_static: usize,
+    /// Total static references observed at both sizes.
+    pub total_static: usize,
+}
+
+impl EvadableReport {
+    /// Fraction of dynamic memory references that are evadable reuses.
+    pub fn fraction(&self) -> f64 {
+        if self.total_refs == 0 {
+            0.0
+        } else {
+            self.evadable_refs as f64 / self.total_refs as f64
+        }
+    }
+}
+
+/// Classifies evadable reuses between a small-size and a large-size run of
+/// the same program.
+///
+/// A static reference is evadable when its mean finite reuse distance at the
+/// larger size exceeds `growth × mean` at the smaller size and is larger
+/// than `min_distance` (filters registers/loop-constant reuses). The paper
+/// grows each dimension ~2× between sizes; `growth = 1.5` separates
+/// O(1)-distance reuses (ratio →1) from O(N)- or O(N²)-distance reuses
+/// (ratio ≥2) robustly.
+pub fn evadable_fraction(
+    small: &RefStats,
+    large: &RefStats,
+    growth: f64,
+    min_distance: f64,
+) -> EvadableReport {
+    let mut rep = EvadableReport::default();
+    for (r, big) in large {
+        rep.total_refs += big.count + big.cold;
+        rep.total_static += 1;
+        let Some(sm) = small.get(r) else { continue };
+        if big.count == 0 || sm.count == 0 {
+            continue;
+        }
+        let grew = big.mean() > sm.mean() * growth && big.mean() > min_distance;
+        if grew {
+            rep.evadable_static += 1;
+            rep.evadable_refs += big.count;
+        }
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(pairs: &[(u32, u64, u64, u64)]) -> RefStats {
+        pairs
+            .iter()
+            .map(|&(r, count, sum, cold)| {
+                (RefId::from_index(r as usize), PerRef { count, sum, cold })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn growing_reference_is_evadable() {
+        // ref 0: mean 100 -> 400 (evadable); ref 1: mean 2 -> 2 (not).
+        let small = stats(&[(0, 10, 1000, 1), (1, 10, 20, 1)]);
+        let large = stats(&[(0, 40, 16000, 1), (1, 40, 80, 1)]);
+        let rep = evadable_fraction(&small, &large, 1.5, 4.0);
+        assert_eq!(rep.evadable_static, 1);
+        assert_eq!(rep.evadable_refs, 40);
+        assert_eq!(rep.total_refs, 82);
+        assert!((rep.fraction() - 40.0 / 82.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_distances_never_evadable() {
+        // Growth ratio high but absolute distance tiny (e.g. 0.1 -> 0.4).
+        let small = stats(&[(0, 100, 10, 0)]);
+        let large = stats(&[(0, 100, 40, 0)]);
+        let rep = evadable_fraction(&small, &large, 1.5, 4.0);
+        assert_eq!(rep.evadable_static, 0);
+    }
+
+    #[test]
+    fn missing_reference_ignored() {
+        let small = stats(&[]);
+        let large = stats(&[(0, 10, 10000, 0)]);
+        let rep = evadable_fraction(&small, &large, 1.5, 4.0);
+        assert_eq!(rep.evadable_static, 0);
+        assert_eq!(rep.total_refs, 10);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! `gcr-reuse` — reuse-distance measurement and the reuse-driven execution
+//! limit study (Sections 2.1–2.2 of the paper).
+//!
+//! * [`distance`] — online reuse-distance analysis: the number of distinct
+//!   data items touched between consecutive accesses to the same datum
+//!   (Figure 1), in `O(log M)` per access, with log₂ histograms (Figure 3);
+//! * [`trace`] — capture of statement-instance traces (instruction, reads,
+//!   write) from the interpreter;
+//! * [`driven`] — the reuse-driven execution algorithm of Figure 2: replay
+//!   on an ideal dataflow machine, then reorder so the instruction with the
+//!   closest reuse runs next (the "inverse of Belady");
+//! * [`evadable`] — classification of *evadable reuses*: reuses whose
+//!   distance grows with the input size (the paper's main §2.2 metric);
+//! * [`predict`] — miss-ratio curves from reuse-distance histograms (the
+//!   §2.1 perfect-cache equivalence, made executable).
+
+pub mod distance;
+pub mod driven;
+pub mod evadable;
+pub mod predict;
+pub mod sampled;
+pub mod trace;
+
+pub use distance::{DistanceSink, Histogram, ReuseDistanceAnalyzer};
+pub use predict::{miss_ratio_curve, predicted_miss_ratio, predicted_misses};
+pub use sampled::SampledAnalyzer;
+pub use driven::reuse_driven_order;
+pub use evadable::{evadable_fraction, EvadableReport, RefStats};
+pub use trace::{InstrTrace, TraceCapture};

@@ -1,0 +1,114 @@
+//! Statement-instance trace capture.
+//!
+//! The reuse-driven execution study (Section 2.2) operates on the run-time
+//! trace of "source-level instructions": one entry per dynamic assignment
+//! instance, with the data it reads and writes. [`TraceCapture`] is a
+//! [`gcr_exec::TraceSink`] that records the trace in CSR form.
+
+use gcr_exec::{AccessEvent, TraceSink};
+use gcr_ir::{RefId, StmtId};
+
+/// A captured instruction trace. Addresses are at element granularity.
+#[derive(Clone, Debug, Default)]
+pub struct InstrTrace {
+    /// Flat address stream; instruction `i` owns `addrs[starts[i]..starts[i+1]]`.
+    pub addrs: Vec<u64>,
+    /// Matching write flags (the write, if any, is last).
+    pub is_write: Vec<bool>,
+    /// Matching static reference ids.
+    pub refs: Vec<RefId>,
+    /// CSR offsets, length = instructions + 1.
+    pub starts: Vec<u32>,
+    /// Static statement id per instruction.
+    pub stmts: Vec<StmtId>,
+}
+
+impl InstrTrace {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// True when no instructions were captured.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+
+    /// Accesses of instruction `i`: `(addr, is_write, ref)` triples.
+    pub fn accesses(&self, i: usize) -> impl Iterator<Item = (u64, bool, RefId)> + '_ {
+        let r = self.starts[i] as usize..self.starts[i + 1] as usize;
+        r.map(move |k| (self.addrs[k], self.is_write[k], self.refs[k]))
+    }
+
+    /// Total number of accesses.
+    pub fn total_accesses(&self) -> usize {
+        self.addrs.len()
+    }
+}
+
+/// Sink building an [`InstrTrace`].
+#[derive(Debug, Default)]
+pub struct TraceCapture {
+    /// The trace under construction.
+    pub trace: InstrTrace,
+}
+
+impl TraceCapture {
+    /// New empty capture.
+    pub fn new() -> Self {
+        let mut t = InstrTrace::default();
+        t.starts.push(0);
+        TraceCapture { trace: t }
+    }
+
+    /// Finishes and returns the trace.
+    pub fn finish(self) -> InstrTrace {
+        self.trace
+    }
+}
+
+impl TraceSink for TraceCapture {
+    fn access(&mut self, ev: &AccessEvent) {
+        self.trace.addrs.push(ev.addr >> 3); // element granularity
+        self.trace.is_write.push(ev.is_write);
+        self.trace.refs.push(ev.ref_id);
+    }
+
+    fn end_instance(&mut self, stmt: StmtId) {
+        self.trace.stmts.push(stmt);
+        self.trace.starts.push(self.trace.addrs.len() as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_exec::Machine;
+    use gcr_ir::{Expr, LinExpr, ParamBinding, ProgramBuilder, Subscript};
+
+    #[test]
+    fn captures_instances() {
+        let mut b = ProgramBuilder::new("t");
+        let n = b.param("N");
+        let a = b.array("A", &[LinExpr::param(n)]);
+        let c = b.array("C", &[LinExpr::param(n)]);
+        let i = b.var("i");
+        let rhs = b.read(a, vec![Subscript::var(i, 0)]);
+        let s = b.assign(c, vec![Subscript::var(i, 0)], Expr::Call("f", vec![rhs]));
+        let l = b.for_(i, LinExpr::konst(1), LinExpr::param(n), vec![s]);
+        b.push(l);
+        let p = b.finish();
+        let mut m = Machine::new(&p, ParamBinding::new(vec![4]));
+        let mut cap = TraceCapture::new();
+        m.run(&mut cap);
+        let t = cap.finish();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.total_accesses(), 8);
+        let acc: Vec<_> = t.accesses(0).collect();
+        assert_eq!(acc.len(), 2);
+        assert!(!acc[0].1 && acc[1].1, "read then write");
+        // A and C are adjacent; A elems 0..4, C elems 4..8
+        assert_eq!(acc[0].0, 0);
+        assert_eq!(acc[1].0, 4);
+    }
+}

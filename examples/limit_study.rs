@@ -1,0 +1,67 @@
+//! The Section 2.2 limit study on a user program: capture the instruction
+//! trace, replay it under the ideal dataflow order and the reuse-driven
+//! order of Figure 2, and compare reuse-distance histograms.
+//!
+//! Run with: `cargo run --release --example limit_study`
+
+use global_cache_reuse::exec::Machine;
+use global_cache_reuse::ir::ParamBinding;
+use global_cache_reuse::reuse::driven::{
+    ideal_parallel_order, measure_order, measure_program_order, reuse_driven_order, DepGraph,
+};
+use global_cache_reuse::reuse::TraceCapture;
+
+fn main() {
+    // A program with classic cross-loop reuse: three passes over the grid.
+    let src = "
+program passes
+param N
+array A[N, N], B[N, N]
+
+for i = 1, N {
+  for j = 1, N {
+    A[j, i] = f(A[j, i])
+  }
+}
+for i = 1, N {
+  for j = 1, N {
+    B[j, i] = g(A[j, i])
+  }
+}
+for i = 1, N {
+  for j = 1, N {
+    A[j, i] = h(A[j, i], B[j, i])
+  }
+}
+";
+    let prog = global_cache_reuse::frontend::parse(src).expect("parses");
+    let mut machine = Machine::new(&prog, ParamBinding::new(vec![96]));
+    let mut cap = TraceCapture::new();
+    machine.run(&mut cap);
+    let trace = cap.finish();
+    println!(
+        "trace: {} instructions, {} accesses, {} distinct elements\n",
+        trace.len(),
+        trace.total_accesses(),
+        DepGraph::build(&trace).data_count()
+    );
+
+    let (h_prog, _) = measure_program_order(&trace);
+    let deps = DepGraph::build(&trace);
+    let ideal = ideal_parallel_order(&trace, &deps);
+    let (h_ideal, _) = measure_order(&trace, &ideal);
+    let driven = reuse_driven_order(&trace);
+    let (h_driven, _) = measure_order(&trace, &driven);
+
+    println!("{:<16} {:>14} {:>20}", "order", "reuses", "distance >= 4096");
+    for (name, h) in [
+        ("program order", &h_prog),
+        ("ideal parallel", &h_ideal),
+        ("reuse-driven", &h_driven),
+    ] {
+        println!("{:<16} {:>14} {:>20}", name, h.reuses, h.at_least(4096));
+    }
+    println!("\nReuse-driven execution chases each value's next consumer, so the");
+    println!("three passes interleave and the long cross-pass reuses disappear —");
+    println!("the bound on what source-level loop fusion can hope to achieve.");
+}

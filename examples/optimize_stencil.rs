@@ -1,0 +1,76 @@
+//! Optimizing a multi-phase stencil application end to end: compare the
+//! program versions of the paper's evaluation (original, SGI-like local
+//! optimization, fusion only, fusion + multi-level regrouping) on a
+//! simulated memory hierarchy — a miniature Figure 10.
+//!
+//! Run with: `cargo run --release --example optimize_stencil`
+
+use global_cache_reuse::cache::{CostModel, HierarchySink, MemoryHierarchy};
+use global_cache_reuse::exec::Machine;
+use global_cache_reuse::ir::ParamBinding;
+use global_cache_reuse::opt::pipeline::{apply_strategy, Strategy};
+use global_cache_reuse::opt::regroup::RegroupLevel;
+
+const SRC: &str = "
+program smooth
+param N
+array A[N, N], B[N, N], C[N, N], W[N, N]
+
+// phase 1: weighted 5-point smoothing of A into B
+for i = 2, N - 1 {
+  for j = 2, N - 1 {
+    B[j, i] = W[j, i] * (A[j, i] + 0.25 * (A[j-1, i] + A[j+1, i] + A[j, i-1] + A[j, i+1]))
+  }
+}
+// phase 2: residual of the smoothing
+for i = 2, N - 1 {
+  for j = 2, N - 1 {
+    C[j, i] = B[j, i] - A[j, i]
+  }
+}
+// phase 3: corrected update
+for i = 2, N - 1 {
+  for j = 2, N - 1 {
+    A[j, i] = B[j, i] + 0.5 * C[j, i] * W[j, i]
+  }
+}
+";
+
+fn main() {
+    let prog = global_cache_reuse::frontend::parse(SRC).expect("parses");
+    let n = 257i64;
+    let steps = 3;
+    println!("four arrays of {n}x{n} doubles, {steps} time steps\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "version", "cycles", "L1 miss", "L2 miss", "TLB miss", "time"
+    );
+    let mut base_cycles = None;
+    for strategy in [
+        Strategy::Original,
+        Strategy::Sgi,
+        Strategy::FusionOnly { levels: 2 },
+        Strategy::FusionRegroup { levels: 2, regroup: RegroupLevel::Multi },
+    ] {
+        let opt = apply_strategy(&prog, strategy);
+        let bind = ParamBinding::new(vec![n]);
+        let layout = opt.layout(&bind);
+        let mut machine = Machine::with_layout(&opt.program, bind, layout);
+        let mut sink = HierarchySink::new(MemoryHierarchy::origin2000_scaled(8, 64));
+        machine.run_steps(&mut sink, steps);
+        let misses = sink.hierarchy.counts();
+        let cycles = CostModel::default().cycles(&machine.stats(), &misses);
+        let base = *base_cycles.get_or_insert(cycles);
+        println!(
+            "{:<14} {:>10.2e} {:>10} {:>10} {:>10} {:>7.2}x",
+            strategy.label(),
+            cycles,
+            misses.l1,
+            misses.l2,
+            misses.tlb,
+            cycles / base
+        );
+    }
+    println!("\nFusion shortens the cross-phase reuse of A, B, C and W; regrouping");
+    println!("then interleaves the arrays so each cache line carries useful data.");
+}

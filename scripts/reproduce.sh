@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates every experiment output under results/ (see EXPERIMENTS.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+for bin in table_apps fig10 sp_stats table6 bound_check fig3 evadable; do
+  echo "== $bin =="
+  cargo run --release -q -p gcr-bench --bin "$bin" | tee "results/$bin.txt"
+done
+echo "== fig10 --ablation =="
+cargo run --release -q -p gcr-bench --bin fig10 -- --ablation | tee results/fig10_ablation.txt

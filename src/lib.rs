@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! `global-cache-reuse` — facade crate re-exporting the whole workspace.
+//!
+//! Reproduction of Ding & Kennedy, *Improving Effective Bandwidth through
+//! Compiler Enhancement of Global Cache Reuse* (IPPS 2001). See the README
+//! for a tour and `DESIGN.md` for the system inventory.
+
+pub use gcr_analysis as analysis;
+pub use gcr_apps as apps;
+pub use gcr_cache as cache;
+pub use gcr_core as opt;
+pub use gcr_exec as exec;
+pub use gcr_frontend as frontend;
+pub use gcr_ir as ir;
+pub use gcr_reuse as reuse;

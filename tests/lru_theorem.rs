@@ -1,0 +1,100 @@
+//! Cross-validation of the two measurement substrates against the theorem
+//! the paper's Section 2.1 states: "On a perfect cache (fully associative
+//! with LRU replacement), a data reuse hits in cache if and only if its
+//! reuse distance is smaller than the cache size."
+//!
+//! The reuse-distance analyzer and the cache simulator are independent
+//! implementations; this equivalence catches bugs in either.
+
+use global_cache_reuse::cache::{Cache, CacheConfig};
+use global_cache_reuse::reuse::ReuseDistanceAnalyzer;
+use proptest::prelude::*;
+
+fn check_equivalence(addrs: &[u64], capacity_lines: usize, line: u64) {
+    let mut cache = Cache::new(CacheConfig {
+        size: capacity_lines * line as usize,
+        line: line as usize,
+        assoc: capacity_lines, // fully associative
+    });
+    let mut analyzer = ReuseDistanceAnalyzer::new(line);
+    for &a in addrs {
+        let hit = cache.access(a);
+        let dist = analyzer.access(a);
+        match dist {
+            None => assert!(!hit, "cold access at {a:#x} cannot hit"),
+            Some(d) => assert_eq!(
+                hit,
+                d < capacity_lines as u64,
+                "addr {a:#x}: distance {d}, capacity {capacity_lines}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn lru_theorem_on_program_traces() {
+    // Use a real application trace at line granularity.
+    use global_cache_reuse::exec::{AccessEvent, Machine, TraceSink};
+    struct Cap(Vec<u64>);
+    impl TraceSink for Cap {
+        fn access(&mut self, ev: &AccessEvent) {
+            self.0.push(ev.addr);
+        }
+    }
+    let prog = gcr_apps::adi::program();
+    let mut m = Machine::new(&prog, global_cache_reuse::ir::ParamBinding::new(vec![24]));
+    let mut cap = Cap(Vec::new());
+    m.run(&mut cap);
+    for capacity in [4usize, 16, 64, 256] {
+        check_equivalence(&cap.0, capacity, 32);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The theorem on random address streams, across capacities and line
+    /// sizes.
+    #[test]
+    fn lru_theorem_on_random_streams(
+        raw in proptest::collection::vec(0u64..4096, 50..800),
+        capacity in 1usize..64,
+        line_shift in 3u32..7,
+    ) {
+        let line = 1u64 << line_shift;
+        let addrs: Vec<u64> = raw.iter().map(|&x| x * 8).collect();
+        check_equivalence(&addrs, capacity, line);
+    }
+
+    /// Reuse distances are layout-shift invariant: adding a constant offset
+    /// to every address (aligned to the granularity) leaves all distances
+    /// unchanged.
+    #[test]
+    fn distances_are_translation_invariant(
+        raw in proptest::collection::vec(0u64..2048, 20..400),
+        shift in 0u64..1000,
+    ) {
+        let mut a1 = ReuseDistanceAnalyzer::new(8);
+        let mut a2 = ReuseDistanceAnalyzer::new(8);
+        for &x in &raw {
+            let d1 = a1.access(x * 8);
+            let d2 = a2.access(x * 8 + shift * 8);
+            prop_assert_eq!(d1, d2);
+        }
+    }
+
+    /// Histogram totals: reuses + cold accesses = total accesses, and the
+    /// number of distinct data equals the cold count.
+    #[test]
+    fn histogram_accounting(raw in proptest::collection::vec(0u64..512, 1..500)) {
+        let mut a = ReuseDistanceAnalyzer::new(1);
+        for &x in &raw {
+            a.access(x);
+        }
+        let h = &a.hist;
+        prop_assert_eq!(h.reuses + h.cold, raw.len() as u64);
+        prop_assert_eq!(h.cold as usize, a.distinct());
+        let binned: u64 = h.bins.iter().sum();
+        prop_assert_eq!(binned, h.reuses);
+    }
+}

@@ -1,0 +1,123 @@
+//! Additional end-to-end claims: per-application wins, the regroup-only
+//! ablation, Figure 9 shape pins, and the CLI driving a full application.
+
+use global_cache_reuse::cache::{CostModel, HierarchySink, MemoryHierarchy};
+use global_cache_reuse::exec::Machine;
+use global_cache_reuse::opt::pipeline::Strategy;
+use global_cache_reuse::opt::regroup::RegroupLevel;
+
+fn cycles(app: &gcr_apps::AppSpec, strategy: Strategy) -> f64 {
+    let (prog, bind) = (app.build)(app.default_size);
+    let opt = global_cache_reuse::opt::pipeline::apply_strategy(&prog, strategy);
+    let layout = opt.layout(&bind);
+    let mut m = Machine::with_layout(&opt.program, bind, layout);
+    let mut sink =
+        HierarchySink::new(MemoryHierarchy::origin2000_scaled(app.l1_scale, app.l2_scale));
+    m.run_steps(&mut sink, 2);
+    CostModel::default().cycles(&m.stats(), &sink.hierarchy.counts())
+}
+
+const NEW: Strategy = Strategy::FusionRegroup { levels: 3, regroup: RegroupLevel::Multi };
+
+/// "The combined transformation ... improving overall speed by 14% to a
+/// factor of 2.33": the full strategy beats the original on every program.
+#[test]
+fn combined_strategy_beats_original_everywhere() {
+    for app in gcr_apps::evaluation_apps() {
+        let t0 = cycles(&app, Strategy::Original);
+        let t1 = cycles(&app, NEW);
+        assert!(
+            t1 < t0 * 1.0,
+            "{}: combined {:.3e} vs original {:.3e}",
+            app.name,
+            t1,
+            t0
+        );
+    }
+}
+
+/// Ablation A1: "grouping may see little opportunity without fusion" —
+/// regroup-only never beats the combined strategy, and it *degrades* the
+/// multi-phase kernels whose arrays are not all used together (Swim,
+/// Tomcatv, SP). ADI is the exception that proves the rule: its three
+/// arrays share every nest, so grouping finds its opportunity even
+/// without fusion.
+#[test]
+fn regroup_without_fusion_does_not_win() {
+    for app in gcr_apps::evaluation_apps() {
+        let t0 = cycles(&app, Strategy::Original);
+        let tg = cycles(&app, Strategy::RegroupOnly);
+        let tn = cycles(&app, NEW);
+        assert!(tn < tg, "{}: combined must beat regroup-only", app.name);
+        if app.name != "ADI" {
+            assert!(tg > 0.95 * t0, "{}: regroup-only is no silver bullet", app.name);
+        }
+    }
+}
+
+/// Figure 9 shape pins for all four applications.
+#[test]
+fn figure9_shapes() {
+    use global_cache_reuse::analysis::stats::program_stats;
+    let expect = [("Swim", 8, 14), ("Tomcatv", 5, 7), ("ADI", 6, 3), ("SP", 14, 15)];
+    for app in gcr_apps::evaluation_apps() {
+        let (prog, _) = (app.build)(16);
+        let st = program_stats(&prog);
+        let (_, nests, arrays) = expect.iter().find(|(n, _, _)| *n == app.name).unwrap();
+        assert_eq!(st.nests, *nests, "{} nests", app.name);
+        assert_eq!(st.arrays, *arrays, "{} arrays", app.name);
+    }
+}
+
+/// The CLI drives a complete application end to end.
+#[test]
+fn cli_runs_a_full_application() {
+    let mut o = gcr_cli::parse_args(&[
+        "-".to_string(),
+        "--no-emit".into(),
+        "--report".into(),
+        "--check".into(),
+        "--simulate".into(),
+        "20".into(),
+        "--cache-scale".into(),
+        "8,16".into(),
+    ])
+    .unwrap();
+    o.input = "mem".into();
+    let out = gcr_cli::run_source(&gcr_apps::sp::source(), &o).unwrap();
+    assert!(out.contains("fusion:"), "{out}");
+    assert!(out.contains("regrouping: 43 arrays -> 17 allocations"), "{out}");
+    assert!(out.contains("bounds check (output): ok"), "{out}");
+    assert!(out.contains("simulate N=20"), "{out}");
+}
+
+/// The SGI-like baseline helps but does not out-reduce the global strategy
+/// on the bandwidth metric (L2 misses) by any meaningful margin — the two
+/// are within 15% on SP (our baseline is stronger than the paper's, see
+/// EXPERIMENTS.md) and New wins clearly on the 2-D kernels.
+#[test]
+fn global_strategy_beats_baseline_on_l2() {
+    for app in gcr_apps::evaluation_apps() {
+        let (prog, bind) = (app.build)(app.default_size);
+        let l2 = |strategy| {
+            let opt = global_cache_reuse::opt::pipeline::apply_strategy(&prog, strategy);
+            let layout = opt.layout(&bind);
+            let mut m = Machine::with_layout(&opt.program, bind.clone(), layout);
+            let mut sink = HierarchySink::new(MemoryHierarchy::origin2000_scaled(
+                app.l1_scale,
+                app.l2_scale,
+            ));
+            m.run_steps(&mut sink, 2);
+            sink.hierarchy.counts().l2
+        };
+        let sgi = l2(Strategy::Sgi);
+        let new = l2(NEW);
+        assert!(
+            new <= sgi + sgi * 15 / 100,
+            "{}: New {} vs SGI {} on L2",
+            app.name,
+            new,
+            sgi
+        );
+    }
+}
