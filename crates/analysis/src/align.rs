@@ -287,10 +287,7 @@ mod tests {
             let rhs = b.read(a, vec![Subscript::Invariant(LinExpr::param(n))]);
             b.assign(a, vec![Subscript::konst(1)], rhs)
         };
-        let member = GuardedStmt::guarded(
-            s_mid,
-            Range::new(LinExpr::param(n), LinExpr::param(n)),
-        );
+        let member = GuardedStmt::guarded(s_mid, Range::new(LinExpr::param(n), LinExpr::param(n)));
         let mid_refs = classify_level_refs(&member, i1, &r, &VarRanges::new());
         let write_a1 = mid_refs.iter().find(|m| m.access.kind == AccessKind::Write).unwrap();
         let g: Vec<_> = lp2
@@ -331,10 +328,7 @@ mod tests {
         let g = classify_level_refs(&lp2.body[0], i2, &r, &VarRanges::new());
         let w = &f[0];
         let rd = g.iter().find(|m| m.access.kind == AccessKind::Read).unwrap();
-        assert!(matches!(
-            pairwise_constraint(w, rd),
-            AlignConstraint::Infusible(_)
-        ));
+        assert!(matches!(pairwise_constraint(w, rd), AlignConstraint::Infusible(_)));
     }
 
     #[test]

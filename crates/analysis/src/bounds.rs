@@ -246,9 +246,8 @@ for i = 1, N {
 
     #[test]
     fn fused_applications_stay_in_bounds() {
-        for (name, prog) in [
-            ("adi", gcr_apps_like_adi()),
-        ] {
+        {
+            let (name, prog) = ("adi", gcr_apps_like_adi());
             let mut fused = prog.clone();
             gcr_core_like_fuse(&mut fused);
             let issues = check_bounds(&fused);

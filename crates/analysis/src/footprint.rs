@@ -111,10 +111,7 @@ mod tests {
     #[test]
     fn range_overlap_cases() {
         // [1,2] vs [3,N]: disjoint
-        assert!(!ranges_may_overlap(
-            &Range::consts(1, 2),
-            &Range::new(LinExpr::konst(3), n())
-        ));
+        assert!(!ranges_may_overlap(&Range::consts(1, 2), &Range::new(LinExpr::konst(3), n())));
         // [2,N-1] vs [3,N]: overlap
         assert!(ranges_may_overlap(
             &Range::new(LinExpr::konst(2), n().add_const(-1)),
@@ -170,11 +167,8 @@ mod tests {
         let a = b.array("A", &[LinExpr::param(np), LinExpr::param(np)]);
         let i = b.var("i");
         let j = b.var("j");
-        let s = b.assign(
-            a,
-            vec![Subscript::var(j, 0), Subscript::var(i, 0)],
-            gcr_ir::Expr::Const(0.0),
-        );
+        let s =
+            b.assign(a, vec![Subscript::var(j, 0), Subscript::var(i, 0)], gcr_ir::Expr::Const(0.0));
         let inner = b.for_(j, LinExpr::konst(2), LinExpr::param(np).add_const(-1), vec![s]);
         let outer = b.for_(i, LinExpr::konst(1), LinExpr::param(np), vec![inner]);
         b.push(outer);

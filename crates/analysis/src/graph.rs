@@ -68,11 +68,7 @@ pub fn render_dot(prog: &Program) -> String {
     let nodes = sharing_nodes(prog);
     let mut out = String::from("digraph sharing {\n  rankdir=TB;\n  node [shape=box];\n");
     for n in &nodes {
-        let arrays: Vec<String> = n
-            .touched()
-            .iter()
-            .map(|&a| prog.array(a).name.clone())
-            .collect();
+        let arrays: Vec<String> = n.touched().iter().map(|&a| prog.array(a).name.clone()).collect();
         let _ = writeln!(
             out,
             "  n{} [label=\"[{}] {}\\n{}\"];",
@@ -90,19 +86,11 @@ pub fn render_dot(prog: &Program) -> String {
                 .filter(|x| a.touched().contains(x) && b.touched().contains(x))
                 .map(|&x| prog.array(x).name.clone())
                 .collect();
-            let rr: Vec<String> = a
-                .reads
-                .intersection(&b.reads)
-                .map(|&x| prog.array(x).name.clone())
-                .collect();
+            let rr: Vec<String> =
+                a.reads.intersection(&b.reads).map(|&x| prog.array(x).name.clone()).collect();
             if !dep.is_empty() {
-                let _ = writeln!(
-                    out,
-                    "  n{} -> n{} [label=\"{}\"];",
-                    a.index,
-                    b.index,
-                    dep.join(",")
-                );
+                let _ =
+                    writeln!(out, "  n{} -> n{} [label=\"{}\"];", a.index, b.index, dep.join(","));
             }
             if !rr.is_empty() {
                 let _ = writeln!(

@@ -129,10 +129,7 @@ mod tests {
         assert_eq!(refs[0].dims[0], DimSet::Point(LinExpr::konst(1)));
         // write A[j, i]: variant at dim 1, offset 0; dim 0 spans inner loop
         assert_eq!(refs[1].pos, LevelPos::Variant { dim: 1, offset: 0 });
-        assert_eq!(
-            refs[1].dims[0],
-            DimSet::Span(Range::new(LinExpr::konst(1), LinExpr::param(n)))
-        );
+        assert_eq!(refs[1].dims[0], DimSet::Span(Range::new(LinExpr::konst(1), LinExpr::param(n))));
         assert_eq!(refs[1].time, loop_range);
     }
 
@@ -172,16 +169,10 @@ mod tests {
         let n = b.param("N");
         let a = b.array("A", &[LinExpr::param(n), LinExpr::param(n)]);
         let i = b.var("i");
-        let s1 = b.assign(
-            a,
-            vec![Subscript::konst(1), Subscript::var(i, 0)],
-            gcr_ir::Expr::Const(0.0),
-        );
-        let s2 = b.assign(
-            a,
-            vec![Subscript::konst(2), Subscript::var(i, 0)],
-            gcr_ir::Expr::Const(0.0),
-        );
+        let s1 =
+            b.assign(a, vec![Subscript::konst(1), Subscript::var(i, 0)], gcr_ir::Expr::Const(0.0));
+        let s2 =
+            b.assign(a, vec![Subscript::konst(2), Subscript::var(i, 0)], gcr_ir::Expr::Const(0.0));
         let lr = Range::new(LinExpr::konst(1), LinExpr::param(n));
         let m1 = gcr_ir::GuardedStmt::bare(s1);
         let m2 = gcr_ir::GuardedStmt::bare(s2);

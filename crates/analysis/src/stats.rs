@@ -31,9 +31,7 @@ pub fn program_stats(prog: &Program) -> ProgramStats {
     fn depth_of(stmt: &Stmt) -> usize {
         match stmt {
             Stmt::Assign(_) => 0,
-            Stmt::Loop(l) => {
-                1 + l.body.iter().map(|gs| depth_of(&gs.stmt)).max().unwrap_or(0)
-            }
+            Stmt::Loop(l) => 1 + l.body.iter().map(|gs| depth_of(&gs.stmt)).max().unwrap_or(0),
         }
     }
     let depths: Vec<usize> = prog
@@ -68,20 +66,12 @@ mod tests {
         let sc = b.scalar("s");
         let i = b.var("i");
         let j = b.var("j");
-        let s1 = b.assign(
-            a,
-            vec![Subscript::var(j, 0), Subscript::var(i, 0)],
-            Expr::Const(0.0),
-        );
+        let s1 = b.assign(a, vec![Subscript::var(j, 0), Subscript::var(i, 0)], Expr::Const(0.0));
         let inner = b.for_(j, LinExpr::konst(1), LinExpr::param(n), vec![s1]);
         let outer = b.for_(i, LinExpr::konst(1), LinExpr::param(n), vec![inner]);
         b.push(outer);
         let k = b.var("k");
-        let s2 = b.assign(
-            a,
-            vec![Subscript::konst(1), Subscript::var(k, 0)],
-            Expr::Const(1.0),
-        );
+        let s2 = b.assign(a, vec![Subscript::konst(1), Subscript::var(k, 0)], Expr::Const(1.0));
         let l2 = b.for_(k, LinExpr::konst(1), LinExpr::param(n), vec![s2]);
         b.push(l2);
         let _ = sc;

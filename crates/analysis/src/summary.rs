@@ -71,9 +71,7 @@ pub fn loop_footprint(l: &Loop, prog: &Program) -> Vec<ArrayFootprint> {
         let entry = per.entry(a.aref.array).or_insert_with(|| {
             (
                 false,
-                (0..rank)
-                    .map(|_| DimAcc { offs: BTreeMap::new(), points: Vec::new() })
-                    .collect(),
+                (0..rank).map(|_| DimAcc { offs: BTreeMap::new(), points: Vec::new() }).collect(),
             )
         });
         entry.0 |= !matches!(a.kind, AccessKind::Read);
@@ -130,13 +128,8 @@ pub fn render_footprints(prog: &Program) -> String {
     for (idx, gs) in prog.body.iter().enumerate() {
         let Stmt::Loop(l) = &gs.stmt else { continue };
         let Range { lo, hi } = l.range();
-        let _ = writeln!(
-            out,
-            "loop [{idx}] {} = {}, {}:",
-            prog.var(l.var).name,
-            lin(&lo),
-            lin(&hi)
-        );
+        let _ =
+            writeln!(out, "loop [{idx}] {} = {}, {}:", prog.var(l.var).name, lin(&lo), lin(&hi));
         for fp in loop_footprint(l, prog) {
             let dims: Vec<String> = fp
                 .dims
@@ -151,10 +144,7 @@ pub fn render_footprints(prog: &Program) -> String {
                     }
                     DimSummary::Mixed { var, min_off, max_off, borders } => {
                         let p: Vec<_> = borders.iter().map(&lin).collect();
-                        format!(
-                            "{var}{min_off:+}..{var}{max_off:+} + border {{{}}}",
-                            p.join(", ")
-                        )
+                        format!("{var}{min_off:+}..{var}{max_off:+} + border {{{}}}", p.join(", "))
                     }
                 })
                 .collect();
@@ -196,14 +186,8 @@ for i = 2, N - 1 {
         assert_eq!(fps.len(), 2);
         let a = &fps[0];
         assert!(a.written);
-        assert_eq!(
-            a.dims[0],
-            DimSummary::Section { var: "j".into(), min_off: -1, max_off: 1 }
-        );
-        assert_eq!(
-            a.dims[1],
-            DimSummary::Section { var: "i".into(), min_off: 0, max_off: 0 }
-        );
+        assert_eq!(a.dims[0], DimSummary::Section { var: "j".into(), min_off: -1, max_off: 1 });
+        assert_eq!(a.dims[1], DimSummary::Section { var: "i".into(), min_off: 0, max_off: 0 });
         let b = &fps[1];
         assert!(!b.written);
         match &b.dims[0] {

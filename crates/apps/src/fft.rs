@@ -46,14 +46,8 @@ pub fn source(n: u32) -> String {
     while h < n {
         let _ = writeln!(s, "// stage with butterfly span {h}");
         let _ = writeln!(s, "for i = 1, {} {{", n - h);
-        let _ = writeln!(
-            s,
-            "  RE[i] = RE[i] + WR[i] * RE[i+{h}] - WI[i] * IM[i+{h}]"
-        );
-        let _ = writeln!(
-            s,
-            "  IM[i] = IM[i] + WR[i] * IM[i+{h}] + WI[i] * RE[i+{h}]"
-        );
+        let _ = writeln!(s, "  RE[i] = RE[i] + WR[i] * RE[i+{h}] - WI[i] * IM[i+{h}]");
+        let _ = writeln!(s, "  IM[i] = IM[i] + WR[i] * IM[i+{h}] + WI[i] * RE[i+{h}]");
         let _ = writeln!(s, "  RE[i+{h}] = 0.5 * (RE[i] - RE[i+{h}])");
         let _ = writeln!(s, "  IM[i+{h}] = 0.5 * (IM[i] - IM[i+{h}])");
         s.push_str("}\n");

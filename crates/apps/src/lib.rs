@@ -92,8 +92,7 @@ mod tests {
     fn all_apps_build_validate_and_run() {
         for app in evaluation_apps() {
             let (p, bind) = (app.build)(16);
-            gcr_ir::validate::validate(&p)
-                .unwrap_or_else(|e| panic!("{}: {e:?}", app.name));
+            gcr_ir::validate::validate(&p).unwrap_or_else(|e| panic!("{}: {e:?}", app.name));
             let mut m = Machine::new(&p, bind);
             m.run(&mut NullSink);
             assert!(m.stats().instances > 0, "{} executed nothing", app.name);

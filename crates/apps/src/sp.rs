@@ -195,11 +195,7 @@ mod tests {
             opt.fusion.infusible
         );
         // Regrouping merges the split component arrays back together.
-        assert!(
-            !opt.regroup.groups.is_empty(),
-            "split components regroup: {:?}",
-            opt.regroup
-        );
+        assert!(!opt.regroup.groups.is_empty(), "split components regroup: {:?}", opt.regroup);
     }
 
     #[test]
@@ -222,7 +218,7 @@ mod tests {
             let vals = m1.read_array(gcr_ir::ArrayId::from_index(ai));
             if let Some(target) = opt.program.array_by_name(&decl.name) {
                 if opt.program.array(target).rank() == decl.rank() {
-                    m2.write_array(target, &vals);
+                    m2.write_array(target, &vals).unwrap();
                     continue;
                 }
             }
@@ -231,7 +227,7 @@ mod tests {
             for c in 0..comps {
                 let part = opt.program.array_by_name(&format!("{}__{}", decl.name, c + 1)).unwrap();
                 let slice: Vec<f64> = vals.iter().skip(c).step_by(comps).copied().collect();
-                m2.write_array(part, &slice);
+                m2.write_array(part, &slice).unwrap();
             }
         }
         m1.run_steps(&mut gcr_exec::NullSink, 2);

@@ -35,10 +35,7 @@ pub fn source() -> String {
         s.push_str("    }\n  }\n}\n");
         let _ = writeln!(s, "// angle {a}: flux accumulation");
         s.push_str("for k = 2, N {\n  for j = 2, N {\n    for i = 2, N {\n");
-        let _ = writeln!(
-            s,
-            "      FLUX[i, j, k] = 0.8 * FLUX[i, j, k] + {w:.2} * PHI[i, j, k]"
-        );
+        let _ = writeln!(s, "      FLUX[i, j, k] = 0.8 * FLUX[i, j, k] + {w:.2} * PHI[i, j, k]");
         s.push_str("    }\n  }\n}\n");
     }
     s

@@ -69,10 +69,9 @@ fn bench_cache(c: &mut Criterion) {
 
 fn bench_interpreter(c: &mut Criterion) {
     let mut g = c.benchmark_group("interpreter");
-    for (name, prog, n) in [
-        ("adi", gcr_apps::adi::program(), 128i64),
-        ("swim", gcr_apps::swim::program(), 64),
-    ] {
+    for (name, prog, n) in
+        [("adi", gcr_apps::adi::program(), 128i64), ("swim", gcr_apps::swim::program(), 64)]
+    {
         g.bench_with_input(BenchmarkId::new("run", name), &n, |b, &n| {
             let mut m = Machine::new(&prog, ParamBinding::new(vec![n]));
             b.iter(|| {

@@ -46,13 +46,9 @@ fn bench_fig10(c: &mut Criterion) {
         }
         let size = if app.name == "SP" { 12 } else { 48 };
         for s in strategies {
-            g.bench_with_input(
-                BenchmarkId::new(app.name, s.label()),
-                &s,
-                |b, &s| {
-                    b.iter(|| black_box(measure_strategy(&app, s, size, 1).cycles));
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(app.name, s.label()), &s, |b, &s| {
+                b.iter(|| black_box(measure_strategy(&app, s, size, 1).cycles));
+            });
         }
     }
     g.finish();

@@ -17,18 +17,18 @@
 use gcr_bench::{capture_trace, print_table};
 use gcr_ir::ParamBinding;
 use gcr_reuse::distance::ReuseDistanceAnalyzer;
-use gcr_reuse::driven::{measure_order, measure_program_order, reuse_driven_order_with, NextUsePolicy};
+use gcr_reuse::driven::{
+    measure_order, measure_program_order, reuse_driven_order_with, NextUsePolicy,
+};
+
+/// One benchmark case: name, program builder, small size, large size.
+type Case = (&'static str, Box<dyn Fn(i64) -> (gcr_ir::Program, ParamBinding)>, i64, i64);
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let mut rows = Vec::new();
-    let cases: Vec<(&str, Box<dyn Fn(i64) -> (gcr_ir::Program, ParamBinding)>, i64, i64)> = vec![
-        (
-            "ADI",
-            Box::new(|n| (gcr_apps::adi::program(), ParamBinding::new(vec![n]))),
-            50,
-            100,
-        ),
+    let cases: Vec<Case> = vec![
+        ("ADI", Box::new(|n| (gcr_apps::adi::program(), ParamBinding::new(vec![n]))), 50, 100),
         (
             "NAS/SP",
             Box::new(|n| (gcr_apps::sp::program(), ParamBinding::new(vec![n]))),
@@ -64,11 +64,8 @@ fn main() {
         let (prog, bind) = build(s2);
         let trace = capture_trace(&prog, bind);
         let (h_prog, _) = measure_program_order(&trace);
-        let mut cells = vec![
-            name.to_string(),
-            format!("{s1}/{s2}"),
-            format!("{}k", threshold / 1000),
-        ];
+        let mut cells =
+            vec![name.to_string(), format!("{s1}/{s2}"), format!("{}k", threshold / 1000)];
         let total = trace.total_accesses() as f64;
         let ev_p = h_prog.at_least(threshold);
         cells.push(format!("{:.1}%", 100.0 * ev_p as f64 / total));

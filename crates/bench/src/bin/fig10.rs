@@ -8,7 +8,7 @@
 //!
 //! Usage: `fig10 [--size-scale F] [--steps K] [--ablation] [--app NAME]`
 
-use gcr_bench::{fig10_strategies, measure_strategy, print_table, STEPS};
+use gcr_bench::{fig10_strategies, print_table, try_measure_strategy, STEPS};
 use gcr_core::pipeline::Strategy;
 use gcr_core::regroup::RegroupLevel;
 
@@ -33,20 +33,32 @@ fn main() {
         if ablation {
             strategies.push(Strategy::RegroupOnly);
             strategies.push(Strategy::FusionNoAlign { levels: 3 });
-            strategies.push(Strategy::FusionRegroup {
-                levels: 3,
-                regroup: RegroupLevel::ElementOnly,
-            });
-            strategies.push(Strategy::FusionRegroup {
-                levels: 3,
-                regroup: RegroupLevel::AvoidInnermost,
-            });
+            strategies
+                .push(Strategy::FusionRegroup { levels: 3, regroup: RegroupLevel::ElementOnly });
+            strategies
+                .push(Strategy::FusionRegroup { levels: 3, regroup: RegroupLevel::AvoidInnermost });
         }
+        // One bad kernel (or one strategy the checked pipeline rejects)
+        // must not kill the sweep: report it on stderr and keep going.
         let measurements: Vec<_> = strategies
             .iter()
-            .map(|&s| measure_strategy(&app, s, size, steps))
+            .filter_map(|&s| match try_measure_strategy(&app, s, size, steps) {
+                Ok((m, diagnostics)) => {
+                    for d in diagnostics {
+                        eprintln!("{}/{}: {d}", app.name, s.label());
+                    }
+                    Some(m)
+                }
+                Err(e) => {
+                    eprintln!("{}/{}: skipped: {e}", app.name, s.label());
+                    None
+                }
+            })
             .collect();
-        let base = &measurements[0];
+        let Some(base) = measurements.first() else {
+            eprintln!("{}: no strategy could be measured", app.name);
+            continue;
+        };
         let mut rows = Vec::new();
         for m in &measurements {
             let r = m.rel(base);

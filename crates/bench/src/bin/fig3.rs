@@ -48,11 +48,7 @@ fn plot(name: &str, prog: &gcr_ir::Program, bind: ParamBinding, with_fusion: boo
         let (h_fused, _) = measure_program_order(&ftrace);
         render_histogram(
             name,
-            &[
-                ("program order", &h_prog),
-                ("reuse-fusion", &h_fused),
-                ("reuse-driven", &h_driven),
-            ],
+            &[("program order", &h_prog), ("reuse-fusion", &h_fused), ("reuse-driven", &h_driven)],
         );
     } else {
         render_histogram(name, &[("program order", &h_prog), ("reuse-driven", &h_driven)]);

@@ -8,9 +8,12 @@ use gcr_core::regroup::RegroupLevel;
 
 fn main() {
     let orig = gcr_apps::sp::program();
-    println!("SP original: {} loops in {} nests, {} arrays",
-        orig.count_loops(), orig.count_nests(),
-        orig.arrays.iter().filter(|a| !a.is_scalar()).count());
+    println!(
+        "SP original: {} loops in {} nests, {} arrays",
+        orig.count_loops(),
+        orig.count_nests(),
+        orig.arrays.iter().filter(|a| !a.is_scalar()).count()
+    );
 
     let mut prelim = orig.clone();
     let prep = gcr_core::prelim::preliminary(&mut prelim, 8);
@@ -19,13 +22,20 @@ fn main() {
     println!("  arrays: {}", prelim.arrays.iter().filter(|a| !a.is_scalar()).count());
 
     for levels in [1, 3] {
-        let opt = apply_strategy(&orig, Strategy::FusionRegroup { levels, regroup: RegroupLevel::Multi });
+        let opt =
+            apply_strategy(&orig, Strategy::FusionRegroup { levels, regroup: RegroupLevel::Multi });
         println!("\n{}-level fusion:", levels);
         println!("  loops before: {:?}", opt.fusion.loops_before);
         println!("  loops after:  {:?}", opt.fusion.loops_after);
-        println!("  fused per level: {:?}, embedded {}, peeled {}", opt.fusion.fused, opt.fusion.embedded, opt.fusion.peeled);
+        println!(
+            "  fused per level: {:?}, embedded {}, peeled {}",
+            opt.fusion.fused, opt.fusion.embedded, opt.fusion.peeled
+        );
         println!("  infusible reasons: {:?}", opt.fusion.infusible);
-        println!("  regroup: {} arrays -> {} allocations", opt.regroup.arrays, opt.regroup.allocations);
+        println!(
+            "  regroup: {} arrays -> {} allocations",
+            opt.regroup.arrays, opt.regroup.allocations
+        );
         for (names, _) in &opt.regroup.groups {
             println!("    group: {}", names.join(", "));
         }

@@ -9,7 +9,7 @@
 //!
 //! Usage: `table6 [--size-scale F] [--steps K]`
 
-use gcr_bench::{measure_strategy, print_table, STEPS};
+use gcr_bench::{print_table, try_measure_strategy, Measurement, STEPS};
 use gcr_core::pipeline::Strategy;
 use gcr_core::regroup::RegroupLevel;
 
@@ -21,16 +21,34 @@ fn main() {
     let scale: f64 = get("--size-scale").map(|s| s.parse().unwrap()).unwrap_or(1.0);
     let steps: usize = get("--steps").map(|s| s.parse().unwrap()).unwrap_or(STEPS);
 
-    let new_strategy =
-        Strategy::FusionRegroup { levels: 3, regroup: RegroupLevel::Multi };
+    let new_strategy = Strategy::FusionRegroup { levels: 3, regroup: RegroupLevel::Multi };
     let mut rows = Vec::new();
     let mut sums = [[0.0f64; 3]; 2]; // [sgi|new][l1|l2|tlb]
     let mut count = 0usize;
     for app in gcr_apps::evaluation_apps() {
         let size = ((app.default_size as f64 * scale) as i64).max(8);
-        let base = measure_strategy(&app, Strategy::Original, size, steps);
-        let sgi = measure_strategy(&app, Strategy::Sgi, size, steps);
-        let new = measure_strategy(&app, new_strategy, size, steps);
+        // Skip any app where a version cannot be optimized/measured, rather
+        // than aborting the whole table.
+        let measure = |s: Strategy| -> Option<Measurement> {
+            match try_measure_strategy(&app, s, size, steps) {
+                Ok((m, diagnostics)) => {
+                    for d in diagnostics {
+                        eprintln!("{}/{}: {d}", app.name, s.label());
+                    }
+                    Some(m)
+                }
+                Err(e) => {
+                    eprintln!("{}/{}: skipped: {e}", app.name, s.label());
+                    None
+                }
+            }
+        };
+        let (Some(base), Some(sgi), Some(new)) =
+            (measure(Strategy::Original), measure(Strategy::Sgi), measure(new_strategy))
+        else {
+            eprintln!("{}: skipped (a version failed)", app.name);
+            continue;
+        };
         let r_sgi = sgi.rel(&base);
         let r_new = new.rel(&base);
         for k in 0..3 {
@@ -72,8 +90,18 @@ fn main() {
     print_table(
         "Section 6: normalized misses and memory traffic (NoOpt / SGI-like / New)",
         &[
-            "program", "L1 NoOpt", "L1 SGI", "L1 New", "L2 NoOpt", "L2 SGI", "L2 New",
-            "TLB NoOpt", "TLB SGI", "TLB New", "traffic SGI", "traffic New",
+            "program",
+            "L1 NoOpt",
+            "L1 SGI",
+            "L1 New",
+            "L2 NoOpt",
+            "L2 SGI",
+            "L2 New",
+            "TLB NoOpt",
+            "TLB SGI",
+            "TLB New",
+            "traffic SGI",
+            "traffic New",
         ],
         &rows,
     );

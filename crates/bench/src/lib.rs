@@ -7,9 +7,10 @@
 
 use gcr_apps::AppSpec;
 use gcr_cache::{CostModel, HierarchySink, MemoryHierarchy, MissCounts};
+use gcr_core::checked::{apply_strategy_checked, SafetyOptions};
 use gcr_core::pipeline::{apply_strategy, Strategy};
 use gcr_exec::{ExecStats, Machine, TraceSink};
-use gcr_ir::ParamBinding;
+use gcr_ir::{GcrError, ParamBinding};
 use gcr_reuse::distance::Histogram;
 use gcr_reuse::{DistanceSink, InstrTrace, TraceCapture};
 
@@ -75,13 +76,52 @@ pub fn measure_strategy(app: &AppSpec, strategy: Strategy, size: i64, steps: usi
     let opt = apply_strategy(&prog, strategy);
     let layout = opt.layout(&bind);
     let mut machine = Machine::with_layout(&opt.program, bind, layout);
-    let mut sink = HierarchySink::new(MemoryHierarchy::origin2000_scaled(app.l1_scale, app.l2_scale));
+    let mut sink =
+        HierarchySink::new(MemoryHierarchy::origin2000_scaled(app.l1_scale, app.l2_scale));
     machine.run_steps(&mut sink, steps);
     let misses = sink.hierarchy.counts();
     let stats = machine.stats();
     let cycles = CostModel::default().cycles(&stats, &misses);
     Measurement { label: strategy.label(), stats, misses, cycles }
 }
+
+/// Fail-safe variant of [`measure_strategy`]: optimizes through the
+/// checked pipeline (oracle-verified, degradation ladder) and runs the
+/// measurement under a fuel guard, so one bad kernel cannot take down a
+/// whole sweep. Returns any fallback diagnostics alongside the
+/// measurement.
+pub fn try_measure_strategy(
+    app: &AppSpec,
+    strategy: Strategy,
+    size: i64,
+    steps: usize,
+) -> Result<(Measurement, Vec<String>), GcrError> {
+    let (prog, bind) = (app.build)(size);
+    let opt = apply_strategy_checked(&prog, strategy, &SafetyOptions::default())?;
+    let layout = opt.layout(&bind);
+    let mut machine = Machine::try_with_layout(
+        &opt.program,
+        bind,
+        layout,
+        Some(gcr_core::checked::DEFAULT_MAX_BYTES),
+    )?;
+    let mut sink =
+        HierarchySink::new(MemoryHierarchy::origin2000_scaled(app.l1_scale, app.l2_scale));
+    machine.run_steps_guarded(&mut sink, steps, MEASURE_FUEL)?;
+    let misses = sink.hierarchy.counts();
+    let stats = machine.stats();
+    let cycles = CostModel::default().cycles(&stats, &misses);
+    let mut label = strategy.label();
+    if opt.robustness.degraded() {
+        // The sweep should show what was actually measured.
+        label = format!("{} (degraded: {})", opt.robustness.strategy, label);
+    }
+    Ok((Measurement { label, stats, misses, cycles }, opt.robustness.describe()))
+}
+
+/// Fuel for guarded measurement runs — generous for the evaluation sizes,
+/// finite for runaway programs.
+pub const MEASURE_FUEL: u64 = 2_000_000_000;
 
 /// The strategy set of Figure 10 for a given app (SP gets the extra
 /// one-level-fusion bar).
@@ -91,10 +131,7 @@ pub fn fig10_strategies(app_name: &str) -> Vec<Strategy> {
         v.push(Strategy::FusionOnly { levels: 1 });
     }
     v.push(Strategy::FusionOnly { levels: 3 });
-    v.push(Strategy::FusionRegroup {
-        levels: 3,
-        regroup: gcr_core::regroup::RegroupLevel::Multi,
-    });
+    v.push(Strategy::FusionRegroup { levels: 3, regroup: gcr_core::regroup::RegroupLevel::Multi });
     v
 }
 
@@ -241,10 +278,7 @@ mod tests {
         assert!(m.cycles > 0.0);
         let f = measure_strategy(
             adi,
-            Strategy::FusionRegroup {
-                levels: 3,
-                regroup: gcr_core::regroup::RegroupLevel::Multi,
-            },
+            Strategy::FusionRegroup { levels: 3, regroup: gcr_core::regroup::RegroupLevel::Multi },
             24,
             1,
         );

@@ -64,7 +64,8 @@ mod tests {
         let m = CostModel::default();
         let stats = ExecStats { instances: 1000, flops: 2000, reads: 3000, writes: 1000 };
         let hit = MissCounts { refs: 4000, l1: 0, l2: 0, tlb: 0, memory_traffic: 0 };
-        let thrash = MissCounts { refs: 4000, l1: 4000, l2: 4000, tlb: 1000, memory_traffic: 512000 };
+        let thrash =
+            MissCounts { refs: 4000, l1: 4000, l2: 4000, tlb: 1000, memory_traffic: 512000 };
         let fast = m.cycles(&stats, &hit);
         let slow = m.cycles(&stats, &thrash);
         assert!(slow > 10.0 * fast, "thrashing must dominate: {fast} vs {slow}");
@@ -77,13 +78,8 @@ mod tests {
         let base = MissCounts { refs: 10, l1: 1, l2: 1, tlb: 1, memory_traffic: 0 };
         let c0 = m.cycles(&stats, &base);
         for (dl1, dl2, dtlb) in [(1, 0, 0), (0, 1, 0), (0, 0, 1)] {
-            let worse = MissCounts {
-                refs: 10,
-                l1: 1 + dl1,
-                l2: 1 + dl2,
-                tlb: 1 + dtlb,
-                memory_traffic: 0,
-            };
+            let worse =
+                MissCounts { refs: 10, l1: 1 + dl1, l2: 1 + dl2, tlb: 1 + dtlb, memory_traffic: 0 };
             assert!(m.cycles(&stats, &worse) > c0);
         }
     }

@@ -63,7 +63,12 @@ pub struct MemoryHierarchy {
 impl MemoryHierarchy {
     /// Builds a hierarchy.
     pub fn new(l1: CacheConfig, l2: CacheConfig, tlb: Tlb) -> Self {
-        MemoryHierarchy { l1: Cache::new(l1), l2: Cache::new(l2), tlb, counts: MissCounts::default() }
+        MemoryHierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            tlb,
+            counts: MissCounts::default(),
+        }
     }
 
     /// The paper's Origin2000 (R12K): 32 KB L1, 4 MB L2, 64-entry TLB.

@@ -64,8 +64,13 @@ impl Cache {
         assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
         assert!(cfg.assoc >= 1);
         let sets = cfg.sets();
-        assert!(sets.is_power_of_two(), "set count must be a power of two (size {}/line {}/assoc {})",
-                cfg.size, cfg.line, cfg.assoc);
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two (size {}/line {}/assoc {})",
+            cfg.size,
+            cfg.line,
+            cfg.assoc
+        );
         Cache {
             cfg,
             line_shift: cfg.line.trailing_zeros(),

@@ -16,10 +16,11 @@
 //! regrouping → (optionally) execute on the simulated memory hierarchy.
 
 use gcr_cache::{CostModel, HierarchySink, MemoryHierarchy};
-use gcr_core::pipeline::{apply_strategy, Strategy};
+use gcr_core::checked::{apply_strategy_checked, SafetyOptions};
+use gcr_core::pipeline::Strategy;
 use gcr_core::regroup::RegroupLevel;
 use gcr_exec::Machine;
-use gcr_ir::ParamBinding;
+use gcr_ir::{GcrError, ParamBinding};
 use std::fmt::Write as _;
 
 /// Parsed command line.
@@ -51,6 +52,13 @@ pub struct Options {
     pub mrc: Option<i64>,
     /// Cache scale factors (L1/TLB, L2) for simulation.
     pub cache_scale: (usize, usize),
+    /// Treat the first optimizer fault as fatal (no degradation ladder).
+    pub strict: bool,
+    /// Degrade to weaker strategies on optimizer faults (disabled by
+    /// `--no-fallback`: stop at the last good program instead).
+    pub fallback: bool,
+    /// Interpreter fuel budget for oracle checks and `--simulate` runs.
+    pub fuel: Option<u64>,
 }
 
 impl Default for Options {
@@ -69,6 +77,9 @@ impl Default for Options {
             reuse_hist: None,
             mrc: None,
             cache_scale: (1, 1),
+            strict: false,
+            fallback: true,
+            fuel: None,
         }
     }
 }
@@ -90,15 +101,24 @@ options:
   --cache-scale <a,b>  shrink L1/TLB by a and L2 by b during --simulate
   --reuse-hist <N>   print the reuse-distance histogram at size N
   --mrc <N>          print the predicted miss-ratio curve at size N
+  --strict           treat the first optimizer fault as fatal
+  --no-fallback      do not degrade to weaker strategies on faults;
+                     stop at the last verified program instead
+  --fuel <N>         interpreter step budget for semantic checks and
+                     --simulate (terminates runaway programs)
 ";
 
-/// Parses the command line. Returns `Err` with a message (including usage)
-/// on bad input.
-pub fn parse_args(args: &[String]) -> Result<Options, String> {
+fn usage_err(msg: String) -> GcrError {
+    GcrError::Usage(msg)
+}
+
+/// Parses the command line. Returns [`GcrError::Usage`] (with the usage
+/// text) on bad input.
+pub fn parse_args(args: &[String]) -> Result<Options, GcrError> {
     let mut o = Options::default();
     let mut it = args.iter().peekable();
     let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>, flag: &str| {
-        it.next().cloned().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        it.next().cloned().ok_or_else(|| usage_err(format!("{flag} needs a value\n{USAGE}")))
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -112,7 +132,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                         Strategy::FusionRegroup { levels: 3, regroup: RegroupLevel::Multi }
                     }
                     "group" => Strategy::RegroupOnly,
-                    other => return Err(format!("unknown strategy `{other}`\n{USAGE}")),
+                    other => return Err(usage_err(format!("unknown strategy `{other}`\n{USAGE}"))),
                 };
             }
             "--no-emit" => o.emit = false,
@@ -125,72 +145,103 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 o.simulate = Some(
                     value(&mut it, "--simulate")?
                         .parse()
-                        .map_err(|e| format!("bad --simulate value: {e}"))?,
+                        .map_err(|e| usage_err(format!("bad --simulate value: {e}")))?,
                 )
             }
             "--steps" => {
                 o.steps = value(&mut it, "--steps")?
                     .parse()
-                    .map_err(|e| format!("bad --steps value: {e}"))?
+                    .map_err(|e| usage_err(format!("bad --steps value: {e}")))?
             }
             "--cache-scale" => {
                 let v = value(&mut it, "--cache-scale")?;
                 let (a, b) = v
                     .split_once(',')
-                    .ok_or_else(|| "cache-scale wants `a,b`".to_string())?;
+                    .ok_or_else(|| usage_err("cache-scale wants `a,b`".to_string()))?;
                 o.cache_scale = (
-                    a.parse().map_err(|e| format!("bad cache scale: {e}"))?,
-                    b.parse().map_err(|e| format!("bad cache scale: {e}"))?,
+                    a.parse().map_err(|e| usage_err(format!("bad cache scale: {e}")))?,
+                    b.parse().map_err(|e| usage_err(format!("bad cache scale: {e}")))?,
                 );
             }
             "--reuse-hist" => {
                 o.reuse_hist = Some(
                     value(&mut it, "--reuse-hist")?
                         .parse()
-                        .map_err(|e| format!("bad --reuse-hist value: {e}"))?,
+                        .map_err(|e| usage_err(format!("bad --reuse-hist value: {e}")))?,
                 )
             }
             "--mrc" => {
                 o.mrc = Some(
                     value(&mut it, "--mrc")?
                         .parse()
-                        .map_err(|e| format!("bad --mrc value: {e}"))?,
+                        .map_err(|e| usage_err(format!("bad --mrc value: {e}")))?,
                 )
             }
-            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--strict" => o.strict = true,
+            "--no-fallback" => o.fallback = false,
+            "--fuel" => {
+                o.fuel = Some(
+                    value(&mut it, "--fuel")?
+                        .parse()
+                        .map_err(|e| usage_err(format!("bad --fuel value: {e}")))?,
+                )
+            }
+            "--help" | "-h" => return Err(usage_err(USAGE.to_string())),
             "-" => {
                 if !o.input.is_empty() {
-                    return Err(format!("multiple input files\n{USAGE}"));
+                    return Err(usage_err(format!("multiple input files\n{USAGE}")));
                 }
                 o.input = "-".to_string();
             }
             flag if flag.starts_with('-') => {
-                return Err(format!("unknown option `{flag}`\n{USAGE}"))
+                return Err(usage_err(format!("unknown option `{flag}`\n{USAGE}")))
             }
             path => {
                 if !o.input.is_empty() {
-                    return Err(format!("multiple input files\n{USAGE}"));
+                    return Err(usage_err(format!("multiple input files\n{USAGE}")));
                 }
                 o.input = path.to_string();
             }
         }
     }
     if o.input.is_empty() {
-        return Err(format!("no input file\n{USAGE}"));
+        return Err(usage_err(format!("no input file\n{USAGE}")));
     }
     Ok(o)
 }
 
+/// The safety configuration a command line implies.
+fn safety_of(o: &Options) -> SafetyOptions {
+    SafetyOptions { strict: o.strict, fallback: o.fallback, fuel: o.fuel, ..Default::default() }
+}
+
 /// Runs the driver over already-loaded source text, returning the output.
-pub fn run_source(src: &str, o: &Options) -> Result<String, String> {
-    let prog = gcr_frontend::parse(src).map_err(|e| format!("parse error: {e}"))?;
+pub fn run_source(src: &str, o: &Options) -> Result<String, GcrError> {
+    run_source_with_diagnostics(src, o).map(|(out, _)| out)
+}
+
+/// Like [`run_source`], but also returns the fail-safe pipeline's fallback
+/// diagnostics (one human-readable line per degradation), which `main`
+/// prints to stderr.
+pub fn run_source_with_diagnostics(
+    src: &str,
+    o: &Options,
+) -> Result<(String, Vec<String>), GcrError> {
+    let prog = gcr_frontend::parse(src)?;
     let mut out = String::new();
     if o.stats {
         let st = gcr_analysis::stats::program_stats(&prog);
         let _ = writeln!(
             out,
             "program {}: {} lines, {} loops in {} nests (depth {}-{}), {} arrays, {} scalars",
-            st.name, st.lines, st.loops, st.nests, st.min_depth, st.max_depth, st.arrays, st.scalars
+            st.name,
+            st.lines,
+            st.loops,
+            st.nests,
+            st.min_depth,
+            st.max_depth,
+            st.arrays,
+            st.scalars
         );
     }
     if o.footprints {
@@ -199,7 +250,8 @@ pub fn run_source(src: &str, o: &Options) -> Result<String, String> {
     if o.dot {
         let _ = write!(out, "{}", gcr_analysis::graph::render_dot(&prog));
     }
-    let opt = apply_strategy(&prog, o.strategy);
+    let opt = apply_strategy_checked(&prog, o.strategy, &safety_of(o))?;
+    let diagnostics = opt.robustness.describe();
     if o.check {
         for (which, p) in [("input", &prog), ("output", &opt.program)] {
             let issues = gcr_analysis::bounds::check_bounds(p);
@@ -245,15 +297,16 @@ pub fn run_source(src: &str, o: &Options) -> Result<String, String> {
             }
         }
     }
+    let fuel = o.fuel.unwrap_or(u64::MAX);
     if let Some(n) = o.simulate {
-        let bind = binding_for(&prog, n)?;
+        let bind = binding_for(&prog, n);
         let layout = opt.layout(&bind);
         let mut m = Machine::with_layout(&opt.program, bind, layout);
         let mut sink = HierarchySink::new(MemoryHierarchy::origin2000_scaled(
             o.cache_scale.0,
             o.cache_scale.1,
         ));
-        m.run_steps(&mut sink, o.steps);
+        m.run_steps_guarded(&mut sink, o.steps, fuel)?;
         let c = sink.hierarchy.counts();
         let cycles = CostModel::default().cycles(&m.stats(), &c);
         let _ = writeln!(
@@ -271,11 +324,11 @@ pub fn run_source(src: &str, o: &Options) -> Result<String, String> {
         );
     }
     if let Some(n) = o.reuse_hist {
-        let bind = binding_for(&prog, n)?;
+        let bind = binding_for(&prog, n);
         let layout = opt.layout(&bind);
         let mut m = Machine::with_layout(&opt.program, bind, layout);
         let mut sink = gcr_reuse::DistanceSink::elements();
-        m.run(&mut sink);
+        m.run_guarded(&mut sink, fuel)?;
         let h = &sink.analyzer.hist;
         let _ = writeln!(out, "reuse distances at N={n} (log2 bins):");
         for (bin, count) in h.points() {
@@ -284,11 +337,11 @@ pub fn run_source(src: &str, o: &Options) -> Result<String, String> {
         let _ = writeln!(out, "  cold {}", h.cold);
     }
     if let Some(n) = o.mrc {
-        let bind = binding_for(&prog, n)?;
+        let bind = binding_for(&prog, n);
         let layout = opt.layout(&bind);
         let mut m = Machine::with_layout(&opt.program, bind, layout);
         let mut sink = gcr_reuse::DistanceSink::elements();
-        m.run(&mut sink);
+        m.run_guarded(&mut sink, fuel)?;
         let _ = writeln!(
             out,
             "predicted miss ratio by cache capacity (fully associative LRU, elements):"
@@ -297,29 +350,29 @@ pub fn run_source(src: &str, o: &Options) -> Result<String, String> {
             let _ = writeln!(out, "  {:>10} {:>7.3}%", cap, 100.0 * ratio);
         }
     }
-    Ok(out)
+    Ok((out, diagnostics))
 }
 
-fn binding_for(prog: &gcr_ir::Program, n: i64) -> Result<ParamBinding, String> {
-    match prog.params.len() {
-        0 => Ok(ParamBinding::new(vec![])),
-        1 => Ok(ParamBinding::new(vec![n])),
-        k => Ok(ParamBinding::new(vec![n; k])),
-    }
+fn binding_for(prog: &gcr_ir::Program, n: i64) -> ParamBinding {
+    ParamBinding::new(vec![n; prog.params.len()])
 }
 
-/// Entry point used by `main`: loads the file and runs.
-pub fn run(args: &[String]) -> Result<String, String> {
+/// Entry point used by `main`: loads the file and runs. The second element
+/// of the result is the fallback diagnostics for stderr.
+pub fn run(args: &[String]) -> Result<(String, Vec<String>), GcrError> {
     let o = parse_args(args)?;
     let src = if o.input == "-" {
         use std::io::Read;
         let mut s = String::new();
-        std::io::stdin().read_to_string(&mut s).map_err(|e| e.to_string())?;
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| GcrError::Io { path: "<stdin>".into(), why: e.to_string() })?;
         s
     } else {
-        std::fs::read_to_string(&o.input).map_err(|e| format!("{}: {e}", o.input))?
+        std::fs::read_to_string(&o.input)
+            .map_err(|e| GcrError::Io { path: o.input.clone(), why: e.to_string() })?
     };
-    run_source(&src, &o)
+    run_source_with_diagnostics(&src, &o)
 }
 
 #[cfg(test)]
@@ -459,6 +512,42 @@ for i = 1, N {
     fn parse_errors_are_reported() {
         let o = parse_args(&args(&["mem"])).unwrap();
         let err = run_source("program x\nfor {", &o).unwrap_err();
-        assert!(err.contains("parse error"), "{err}");
+        assert!(matches!(err, GcrError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("parse error"), "{err}");
+    }
+
+    #[test]
+    fn parses_safety_flags() {
+        let o =
+            parse_args(&args(&["x.loop", "--strict", "--no-fallback", "--fuel", "5000"])).unwrap();
+        assert!(o.strict);
+        assert!(!o.fallback);
+        assert_eq!(o.fuel, Some(5000));
+        assert!(parse_args(&args(&["x.loop", "--fuel", "lots"])).is_err());
+    }
+
+    #[test]
+    fn fuel_flag_bounds_simulation() {
+        let mut o =
+            parse_args(&args(&["-", "--no-emit", "--simulate", "64", "--fuel", "10"])).unwrap();
+        o.input = "mem".into();
+        // Fuel 10 is too little even for the oracle's own runs.
+        let err = run_source(SRC, &o).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GcrError::BudgetExceeded { resource: gcr_ir::Resource::InterpreterFuel, .. }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn clean_runs_emit_no_diagnostics() {
+        let mut o = parse_args(&args(&["-", "--no-emit", "--report"])).unwrap();
+        o.input = "mem".into();
+        let (out, diags) = run_source_with_diagnostics(SRC, &o).unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(out.contains("fusion:"), "{out}");
     }
 }

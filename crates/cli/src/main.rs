@@ -3,9 +3,14 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match gcr_cli::run(&args) {
-        Ok(out) => print!("{out}"),
-        Err(msg) => {
-            eprintln!("{msg}");
+        Ok((out, diagnostics)) => {
+            for line in diagnostics {
+                eprintln!("{line}");
+            }
+            print!("{out}");
+        }
+        Err(e) => {
+            eprintln!("{e}");
             std::process::exit(1);
         }
     }

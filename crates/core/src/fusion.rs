@@ -29,12 +29,12 @@
 //! an exact outer-variable guard entry, so which outer iterations execute
 //! it never changes.
 
+use gcr_analysis::access::touched_arrays;
 use gcr_analysis::align::{has_loop_carried_self_dep, AlignConstraint};
+use gcr_analysis::footprint::DimSet;
 use gcr_analysis::footprint::{var_ranges, VarRanges};
 use gcr_analysis::level::{classify_level_refs, LevelPos, LevelRef};
-use gcr_analysis::{pairwise_constraint, AccessKind};
-use gcr_analysis::access::touched_arrays;
-use gcr_analysis::footprint::DimSet;
+use gcr_analysis::pairwise_constraint;
 use gcr_ir::{subst, ArrayId, GuardedStmt, LinExpr, Loop, Program, Range, Stmt};
 use std::collections::BTreeSet;
 use std::collections::HashSet;
@@ -52,11 +52,17 @@ pub struct FusionOptions {
     /// fuse only when alignment factor 0 satisfies every dependence, and 0
     /// is used (mere loop fusion without alignment).
     pub align: bool,
+    /// Budget on `GreedilyFuse` worklist steps across the whole run. When
+    /// it runs out, fusion stops where it is and the report's
+    /// `budget_exhausted` flag is set; `optimize_checked` surfaces this as
+    /// [`gcr_ir::GcrError::BudgetExceeded`]. The default is far above any
+    /// real program's needs.
+    pub max_steps: usize,
 }
 
 impl Default for FusionOptions {
     fn default() -> Self {
-        FusionOptions { max_levels: 4, peel_limit: 8, align: true }
+        FusionOptions { max_levels: 4, peel_limit: 8, align: true, max_steps: 100_000 }
     }
 }
 
@@ -75,6 +81,9 @@ pub struct FusionReport {
     pub loops_after: Vec<usize>,
     /// Reasons fusion attempts failed (deduplicated).
     pub infusible: Vec<String>,
+    /// True when the `max_steps` worklist budget ran out before the
+    /// worklist drained; the program is still valid but may be under-fused.
+    pub budget_exhausted: bool,
 }
 
 impl FusionReport {
@@ -127,9 +136,11 @@ pub fn loops_per_level(prog: &Program) -> Vec<usize> {
 /// assert!(text.contains("B[i+2] = g(A[i])"), "{text}");
 /// ```
 pub fn fuse_program(prog: &mut Program, opts: &FusionOptions) -> FusionReport {
-    let mut report = FusionReport::default();
-    report.loops_before = loops_per_level(prog);
-    report.fused = vec![0; opts.max_levels.max(1)];
+    let mut report = FusionReport {
+        loops_before: loops_per_level(prog),
+        fused: vec![0; opts.max_levels.max(1)],
+        ..Default::default()
+    };
     let ranges = var_ranges(prog);
     let mut fuser = Fuser {
         ranges,
@@ -139,12 +150,46 @@ pub fn fuse_program(prog: &mut Program, opts: &FusionOptions) -> FusionReport {
         memo: HashSet::new(),
         level: 0,
         enclosing: None,
+        steps: 0,
     };
     let body = std::mem::take(&mut prog.body);
     prog.body = fuser.fuse_level(body);
     if opts.max_levels > 1 {
         let mut body = std::mem::take(&mut prog.body);
         fuser.recurse(&mut body, 2);
+        prog.body = body;
+    }
+    normalize(prog);
+    report.loops_after = loops_per_level(prog);
+    report
+}
+
+/// Fuses exactly one loop level (1 = outermost), leaving other levels
+/// untouched. `optimize_checked` uses this to checkpoint the program after
+/// every level and roll back just the level that went wrong.
+pub fn fuse_one_level(prog: &mut Program, opts: &FusionOptions, level: usize) -> FusionReport {
+    let mut report = FusionReport {
+        loops_before: loops_per_level(prog),
+        fused: vec![0; level.max(1)],
+        ..Default::default()
+    };
+    let ranges = var_ranges(prog);
+    let mut fuser = Fuser {
+        ranges,
+        opts: *opts,
+        report: &mut report,
+        next_ident: 0,
+        memo: HashSet::new(),
+        level: level.saturating_sub(1),
+        enclosing: None,
+        steps: 0,
+    };
+    if level <= 1 {
+        let body = std::mem::take(&mut prog.body);
+        prog.body = fuser.fuse_level(body);
+    } else {
+        let mut body = std::mem::take(&mut prog.body);
+        fuser.fuse_at_depth(&mut body, 2, level);
         prog.body = body;
     }
     normalize(prog);
@@ -163,6 +208,8 @@ struct Fuser<'r> {
     level: usize,
     /// Enclosing loop variable and range when fusing an inner level.
     enclosing: Option<(gcr_ir::VarId, Range)>,
+    /// Worklist steps consumed (against `opts.max_steps`).
+    steps: usize,
 }
 
 struct Slot {
@@ -175,13 +222,35 @@ struct Slot {
 enum Fusible {
     No(&'static str),
     /// Fuse with this alignment after peeling `peel_head` iterations.
-    Yes { align: i64, peel_head: i64 },
+    Yes {
+        align: i64,
+        peel_head: i64,
+    },
 }
 
 impl<'r> Fuser<'r> {
     fn new_ident(&mut self) -> u32 {
         self.next_ident += 1;
         self.next_ident
+    }
+
+    /// Descends to loops at exactly `target` depth and fuses their bodies
+    /// (the one-level counterpart of [`Fuser::recurse`]).
+    fn fuse_at_depth(&mut self, members: &mut [GuardedStmt], current: usize, target: usize) {
+        for gs in members.iter_mut() {
+            if let Stmt::Loop(l) = &mut gs.stmt {
+                if current == target {
+                    self.level = target - 1;
+                    let saved = self.enclosing.take();
+                    self.enclosing = Some((l.var, l.range()));
+                    let body = std::mem::take(&mut l.body);
+                    l.body = self.fuse_level(body);
+                    self.enclosing = saved;
+                } else {
+                    self.fuse_at_depth(&mut l.body, current + 1, target);
+                }
+            }
+        }
     }
 
     fn recurse(&mut self, members: &mut [GuardedStmt], level: usize) {
@@ -217,6 +286,11 @@ impl<'r> Fuser<'r> {
     fn greedily_fuse(&mut self, slots: &mut Vec<Slot>, start: u32) {
         let mut work = vec![start];
         while let Some(id) = work.pop() {
+            if self.steps >= self.opts.max_steps {
+                self.report.budget_exhausted = true;
+                return;
+            }
+            self.steps += 1;
             let Some(i) = slots.iter().position(|s| s.ident == id && s.gs.is_some()) else {
                 continue;
             };
@@ -254,13 +328,11 @@ impl<'r> Fuser<'r> {
                             self.report.peeled += peel_head as usize;
                             // Retry the shrunk loop, then process the peels.
                             let iid = slots[i].ident;
-                            let mut insert_at = i + 1;
                             let mut peel_ids = Vec::new();
-                            for p in peeled {
+                            for (off, p) in peeled.into_iter().enumerate() {
                                 let ident = self.new_ident();
                                 let arrays = touched_arrays(&p.stmt);
-                                slots.insert(insert_at, Slot { ident, gs: Some(p), arrays });
-                                insert_at += 1;
+                                slots.insert(i + 1 + off, Slot { ident, gs: Some(p), arrays });
                                 peel_ids.push(ident);
                             }
                             // LIFO: retry loop first, peels afterwards.
@@ -291,10 +363,7 @@ impl<'r> Fuser<'r> {
     /// Level refs of a member list seen as members of loop `l`.
     fn member_refs(&self, l: &Loop) -> Vec<LevelRef> {
         let range = l.range();
-        l.body
-            .iter()
-            .flat_map(|m| classify_level_refs(m, l.var, &range, &self.ranges))
-            .collect()
+        l.body.iter().flat_map(|m| classify_level_refs(m, l.var, &range, &self.ranges)).collect()
     }
 
     /// The paper's `FusibleTest`: can the loop in slot `i` fuse into the
@@ -506,9 +575,6 @@ impl<'r> Fuser<'r> {
                 };
                 if let Some(b) = bound {
                     // Reuse targets and dependences both want `pos ≥ b`.
-                    if !conflict && !matches!(f.access.kind, AccessKind::Read) && false {
-                        unreachable!();
-                    }
                     pos = Some(match pos {
                         None => b,
                         Some(p) => match p.max_large(&b) {
@@ -527,11 +593,8 @@ impl<'r> Fuser<'r> {
         let gi = slots[i].gs.take().unwrap();
         let arrays_i = std::mem::take(&mut slots[i].arrays);
         let gj = slots[j].gs.as_mut().unwrap();
-        let (merged_guard, merged_outer, extra_j, extra_i) = merge_slot_meta(
-            &self.enclosing,
-            (&gj.guard, &gj.outer),
-            (&gi.guard, &gi.outer),
-        );
+        let (merged_guard, merged_outer, extra_j, extra_i) =
+            merge_slot_meta(&self.enclosing, (&gj.guard, &gj.outer), (&gi.guard, &gi.outer));
         let Stmt::Loop(lf) = &mut gj.stmt else { unreachable!() };
         let f_range = lf.range();
         for m in &mut lf.body {
@@ -555,19 +618,17 @@ impl<'r> Fuser<'r> {
     }
 }
 
+/// Activity ranges over outer loop variables: `(variable, active range)`.
+type OuterGuards = Vec<(gcr_ir::VarId, Range)>;
+
 /// Computes the merged slot guard/outer metadata when combining two slots
 /// of the same (inner) level, plus the exact outer-guard entries each
 /// side's members must receive to preserve their activity sets.
 fn merge_slot_meta(
     enclosing: &Option<(gcr_ir::VarId, Range)>,
-    (gj, oj): (&Option<Range>, &Vec<(gcr_ir::VarId, Range)>),
-    (gi, oi): (&Option<Range>, &Vec<(gcr_ir::VarId, Range)>),
-) -> (
-    Option<Range>,
-    Vec<(gcr_ir::VarId, Range)>,
-    Vec<(gcr_ir::VarId, Range)>,
-    Vec<(gcr_ir::VarId, Range)>,
-) {
+    (gj, oj): (&Option<Range>, &OuterGuards),
+    (gi, oi): (&Option<Range>, &OuterGuards),
+) -> (Option<Range>, OuterGuards, OuterGuards, OuterGuards) {
     let mut extra_j = Vec::new();
     let mut extra_i = Vec::new();
     // Enclosing-variable guard: hull when comparable, else unrestricted;
@@ -682,7 +743,12 @@ for i = 3, N {
 }
 ";
         let (fused, report) = check_equivalent(src, &FusionOptions::default(), 30);
-        assert_eq!(fused.count_nests(), 1, "one fused nest:\n{}", gcr_ir::print::print_program(&fused));
+        assert_eq!(
+            fused.count_nests(),
+            1,
+            "one fused nest:\n{}",
+            gcr_ir::print::print_program(&fused)
+        );
         assert_eq!(report.total_fused(), 1);
         assert_eq!(report.embedded, 2);
     }
@@ -734,9 +800,7 @@ for i = 3, N {
         let b_member = l
             .body
             .iter()
-            .find(|m| {
-                matches!(&m.stmt, Stmt::Assign(a) if fused.array(a.lhs.array).name == "B")
-            })
+            .find(|m| matches!(&m.stmt, Stmt::Assign(a) if fused.array(a.lhs.array).name == "B"))
             .unwrap();
         let g = b_member.guard.as_ref().unwrap();
         assert_eq!(g.lo.as_const(), Some(1));
@@ -784,11 +848,7 @@ for i = 2, N - 1 {
         // After level-1 fusion the two inner loops are siblings; level-2
         // fusion merges them.
         let outer = fused.body[0].stmt.as_loop().unwrap();
-        let inner_loops = outer
-            .body
-            .iter()
-            .filter(|m| matches!(m.stmt, Stmt::Loop(_)))
-            .count();
+        let inner_loops = outer.body.iter().filter(|m| matches!(m.stmt, Stmt::Loop(_))).count();
         assert_eq!(inner_loops, 1, "{}", gcr_ir::print::print_program(&fused));
         assert_eq!(report.total_fused(), 2);
     }

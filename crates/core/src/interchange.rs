@@ -85,18 +85,13 @@ pub fn try_interchange(stmt: &mut Stmt) -> bool {
     }
     // Swap the loop headers; bodies and subscripts move untouched (each
     // variable keeps its identity, only the nesting order changes).
-    let Stmt::Loop(inner_owned) = std::mem::replace(
-        &mut outer.body[0].stmt,
-        Stmt::Assign(placeholder()),
-    ) else {
+    let Stmt::Loop(inner_owned) =
+        std::mem::replace(&mut outer.body[0].stmt, Stmt::Assign(placeholder()))
+    else {
         unreachable!()
     };
-    let new_inner = Loop {
-        var: outer.var,
-        lo: outer.lo.clone(),
-        hi: outer.hi.clone(),
-        body: inner_owned.body,
-    };
+    let new_inner =
+        Loop { var: outer.var, lo: outer.lo.clone(), hi: outer.hi.clone(), body: inner_owned.body };
     outer.var = inner_owned.var;
     outer.lo = inner_owned.lo;
     outer.hi = inner_owned.hi;
@@ -131,7 +126,7 @@ fn outer_dim(l: &Loop) -> Option<usize> {
         }
     }
     votes.sort_unstable();
-    votes.first().copied().and_then(|_| {
+    votes.first().copied().map(|_| {
         let mut best = (0usize, 0usize);
         let mut k = 0;
         while k < votes.len() {
@@ -144,7 +139,7 @@ fn outer_dim(l: &Loop) -> Option<usize> {
             }
             k = e;
         }
-        Some(best.0)
+        best.0
     })
 }
 

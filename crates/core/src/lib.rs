@@ -23,12 +23,16 @@
 //! MIPSpro compiler; [`pipeline`] the end-to-end driver.
 
 pub mod baseline;
+pub mod checked;
 pub mod fusion;
 pub mod interchange;
 pub mod pipeline;
 pub mod prelim;
 pub mod regroup;
 
+pub use checked::{
+    apply_strategy_checked, optimize_checked, Fallback, Pass, RobustnessReport, SafetyOptions,
+};
 pub use fusion::{fuse_program, FusionOptions, FusionReport};
 pub use pipeline::{optimize, OptimizeOptions, OptimizedProgram};
 pub use regroup::{regroup, RegroupOptions, RegroupReport};

@@ -153,6 +153,9 @@ pub struct OptimizedProgram {
     pub regroup: RegroupReport,
     /// Padding for the default layout (baseline uses one L2 line).
     pub pad_bytes: usize,
+    /// What the fail-safe driver had to give up (empty for the unchecked
+    /// [`optimize`] path).
+    pub robustness: crate::checked::RobustnessReport,
 }
 
 impl OptimizedProgram {
@@ -191,8 +194,7 @@ pub fn optimize(prog: &Program, opts: &OptimizeOptions) -> OptimizedProgram {
         };
         for g in &p.groups {
             if g.members.len() >= 2 {
-                let names =
-                    g.members.iter().map(|&m| program.array(m).name.clone()).collect();
+                let names = g.members.iter().map(|&m| program.array(m).name.clone()).collect();
                 report.groups.push((names, String::new()));
             }
         }
@@ -208,6 +210,7 @@ pub fn optimize(prog: &Program, opts: &OptimizeOptions) -> OptimizedProgram {
         plan,
         regroup: regroup_rep,
         pad_bytes: opts.regroup_opts.pad_bytes,
+        robustness: crate::checked::RobustnessReport::default(),
     }
 }
 
@@ -273,7 +276,12 @@ for i = 2, N - 1 {
             for (ai, decl) in orig.arrays.iter().enumerate() {
                 let a1 = gcr_ir::ArrayId::from_index(ai);
                 let a2 = opt.program.array_by_name(&decl.name).unwrap();
-                assert_eq!(m1.read_array(a1), m2.read_array(a2), "{strategy:?} array {}", decl.name);
+                assert_eq!(
+                    m1.read_array(a1),
+                    m2.read_array(a2),
+                    "{strategy:?} array {}",
+                    decl.name
+                );
             }
         }
     }

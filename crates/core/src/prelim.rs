@@ -28,10 +28,11 @@ pub struct PrelimReport {
 /// Runs all preliminary passes in the paper's order: unrolling + splitting,
 /// then distribution, then constant folding.
 pub fn preliminary(prog: &mut Program, small_dim_limit: i64) -> PrelimReport {
-    let mut rep = PrelimReport::default();
-    rep.unrolled = unroll_const_loops(prog, small_dim_limit);
-    rep.split_arrays = split_const_dims(prog, small_dim_limit);
-    rep.distributed = distribute(prog);
+    let rep = PrelimReport {
+        unrolled: unroll_const_loops(prog, small_dim_limit),
+        split_arrays: split_const_dims(prog, small_dim_limit),
+        distributed: distribute(prog),
+    };
     fold_constants(prog);
     rep
 }
@@ -56,14 +57,18 @@ fn unroll_list(stmts: &mut Vec<GuardedStmt>, limit: i64, count: &mut usize) {
         if let Stmt::Loop(l) = &mut gs.stmt {
             unroll_list(&mut l.body, limit, count);
             if let (Some(lo), Some(hi)) = (l.lo.as_const(), l.hi.as_const()) {
-                if hi >= lo && hi - lo + 1 <= limit {
+                if hi >= lo && hi - lo < limit {
                     *count += 1;
                     for x in lo..=hi {
                         for m in &l.body {
                             debug_assert!(m.guard.is_none(), "unroll before fusion");
                             let mut stmt = m.stmt.clone();
                             subst::instantiate_var(&mut stmt, l.var, &LinExpr::konst(x));
-                            out.push(GuardedStmt { stmt, guard: gs.guard.clone(), outer: gs.outer.clone() });
+                            out.push(GuardedStmt {
+                                stmt,
+                                guard: gs.guard.clone(),
+                                outer: gs.outer.clone(),
+                            });
                         }
                     }
                     continue;
@@ -85,8 +90,7 @@ fn unroll_list(stmts: &mut Vec<GuardedStmt>, limit: i64, count: &mut usize) {
 /// the net number of arrays added.
 pub fn split_const_dims(prog: &mut Program, limit: i64) -> usize {
     let before = prog.arrays.len();
-    loop {
-        let Some((target, dim, extent)) = find_splittable(prog, limit) else { break };
+    while let Some((target, dim, extent)) = find_splittable(prog, limit) {
         apply_split(prog, target, dim, extent);
     }
     prog.arrays.len() - before
@@ -196,7 +200,11 @@ fn distribute_list(
             Stmt::Loop(l) => {
                 let pieces = distribute_loop(l, prog, ranges, created);
                 for p in pieces {
-                    out.push(GuardedStmt { stmt: Stmt::Loop(p), guard: gs.guard.clone(), outer: gs.outer.clone() });
+                    out.push(GuardedStmt {
+                        stmt: Stmt::Loop(p),
+                        guard: gs.guard.clone(),
+                        outer: gs.outer.clone(),
+                    });
                 }
             }
             other => out.push(GuardedStmt { stmt: other, guard: gs.guard, outer: gs.outer }),
@@ -221,11 +229,8 @@ fn distribute_loop(
     }
     // Union statements connected by backward dependences.
     let range = l.range();
-    let refs: Vec<Vec<gcr_analysis::LevelRef>> = l
-        .body
-        .iter()
-        .map(|m| classify_level_refs(m, l.var, &range, ranges))
-        .collect();
+    let refs: Vec<Vec<gcr_analysis::LevelRef>> =
+        l.body.iter().map(|m| classify_level_refs(m, l.var, &range, ranges)).collect();
     let mut parent: Vec<usize> = (0..n).collect();
     fn find(p: &mut Vec<usize>, x: usize) -> usize {
         if p[x] != x {

@@ -129,18 +129,18 @@ pub fn plan(prog: &Program, opts: &RegroupOptions) -> RegroupPlan {
         let mut keys: Vec<Vec<u64>> = Vec::new();
         for &m in &members {
             let mut kv = vec![0u64; rank + 1];
-            for d in 0..rank {
+            for (d, key) in kv.iter_mut().enumerate().take(rank) {
                 // Grouping at dim d needs togetherness down to loop level
                 // rank − d (level 1 = outermost loops).
                 let depth_needed = rank - d;
                 let mut h = DefaultHasher::new();
-                for lvl in 0..depth_needed.min(phase_sets[m.index()].len()) {
-                    phase_sets[m.index()][lvl].hash(&mut h);
+                for phases in phase_sets[m.index()].iter().take(depth_needed) {
+                    phases.hash(&mut h);
                 }
                 if ungroupable.contains(&(m, d)) {
                     (m.index() as u64, u64::MAX).hash(&mut h);
                 }
-                kv[d] = h.finish();
+                *key = h.finish();
             }
             keys.push(kv);
         }
@@ -159,9 +159,7 @@ pub fn plan(prog: &Program, opts: &RegroupOptions) -> RegroupPlan {
                 // All-or-nothing grouping at the element level.
                 for kv in &mut keys {
                     let inner = kv[0];
-                    for d in 0..=rank {
-                        kv[d] = inner;
-                    }
+                    kv.fill(inner);
                 }
             }
             RegroupLevel::AvoidInnermost => {
@@ -265,7 +263,12 @@ fn transposed_marks(prog: &Program) -> std::collections::HashSet<(ArrayId, usize
 }
 
 /// Builds the concrete data layout for a plan.
-pub fn layout(prog: &Program, plan: &RegroupPlan, binding: &ParamBinding, pad: usize) -> DataLayout {
+pub fn layout(
+    prog: &Program,
+    plan: &RegroupPlan,
+    binding: &ParamBinding,
+    pad: usize,
+) -> DataLayout {
     let mut arrays: Vec<Option<ArrayLayout>> = vec![None; prog.arrays.len()];
     let mut cursor = 0usize;
     for g in &plan.groups {

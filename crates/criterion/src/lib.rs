@@ -1,0 +1,155 @@
+#![warn(missing_docs)]
+
+//! Offline drop-in subset of the [criterion](https://docs.rs/criterion)
+//! benchmarking API. The build container cannot reach crates.io, so the
+//! workspace's benches link against this shim: same surface
+//! ([`Criterion::benchmark_group`], [`Bencher::iter`], `criterion_group!`,
+//! `criterion_main!`), but measurement is a plain wall-clock mean over a
+//! fixed number of iterations — no statistics, plots or baselines.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Benchmark identifier (`group/function/parameter`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter value.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId { name: format!("{name}/{param}") }
+    }
+}
+
+/// Units processed per iteration, reported as a rate.
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u32,
+    /// Mean seconds per iteration of the last `iter` call.
+    last_secs: f64,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.last_secs = start.elapsed().as_secs_f64() / self.iters as f64;
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: u32,
+    throughput: Option<Throughput>,
+    _c: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u32;
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { iters: self.sample_size, last_secs: 0.0 };
+        f(&mut b);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.last_secs > 0.0 => {
+                format!("  {:.3e} elem/s", n as f64 / b.last_secs)
+            }
+            Some(Throughput::Bytes(n)) if b.last_secs > 0.0 => {
+                format!("  {:.3e} B/s", n as f64 / b.last_secs)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{label}: {:.6} s/iter{rate}", self.name, b.last_secs);
+    }
+
+    /// Benchmarks `f` under `id` with `input` passed through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = id.name.clone();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under a plain name.
+    pub fn bench_function(
+        &mut self,
+        name: impl Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run(&name.to_string(), f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: 10, throughput: None, _c: self }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(name.to_string(), f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -12,8 +12,8 @@
 
 use crate::layout::DataLayout;
 use gcr_ir::{
-    ArrayId, ArrayRef, AssignKind, BinOp, Expr, GuardedStmt, Loop, ParamBinding, Program,
-    ReduceOp, RefId, Stmt, StmtId, Subscript, UnOp,
+    ArrayId, ArrayRef, AssignKind, BinOp, Expr, GcrError, GuardedStmt, Loop, ParamBinding, Program,
+    ReduceOp, RefId, Resource, Stmt, StmtId, Subscript, UnOp,
 };
 
 /// One traced array access.
@@ -112,6 +112,26 @@ impl<'p> Machine<'p> {
         Self::with_layout(prog, binding, layout)
     }
 
+    /// Creates a machine with an explicit layout, refusing layouts whose
+    /// memory image would exceed `max_bytes` — the guard that keeps a
+    /// degenerate parameter binding from exhausting host memory.
+    pub fn try_with_layout(
+        prog: &'p Program,
+        binding: ParamBinding,
+        layout: DataLayout,
+        max_bytes: Option<usize>,
+    ) -> Result<Self, GcrError> {
+        if let Some(cap) = max_bytes {
+            if layout.total_bytes > cap {
+                return Err(GcrError::BudgetExceeded {
+                    resource: Resource::MemoryBytes,
+                    limit: cap as u64,
+                });
+            }
+        }
+        Ok(Self::with_layout(prog, binding, layout))
+    }
+
     /// Creates a machine with an explicit layout (e.g. after regrouping).
     pub fn with_layout(prog: &'p Program, binding: ParamBinding, layout: DataLayout) -> Self {
         let mut op_counts = vec![0u32; prog.next_stmt as usize];
@@ -159,6 +179,39 @@ impl<'p> Machine<'p> {
 
     /// Executes the whole program body once, streaming accesses to `sink`.
     pub fn run<S: TraceSink>(&mut self, sink: &mut S) {
+        self.run_fueled(sink, 1, u64::MAX).expect("unlimited fuel cannot run out");
+    }
+
+    /// Executes the body `steps` times (the time-step loop of the kernels).
+    pub fn run_steps<S: TraceSink>(&mut self, sink: &mut S, steps: usize) {
+        self.run_fueled(sink, steps, u64::MAX).expect("unlimited fuel cannot run out");
+    }
+
+    /// Like [`Machine::run`], but stops with [`GcrError::BudgetExceeded`]
+    /// once `fuel` units (loop iterations plus statement instances) are
+    /// spent. A transformed program whose bounds went wrong terminates
+    /// instead of spinning.
+    pub fn run_guarded<S: TraceSink>(&mut self, sink: &mut S, fuel: u64) -> Result<(), GcrError> {
+        self.run_fueled(sink, 1, fuel)
+    }
+
+    /// Like [`Machine::run_steps`], with one fuel budget shared across all
+    /// `steps` executions of the body.
+    pub fn run_steps_guarded<S: TraceSink>(
+        &mut self,
+        sink: &mut S,
+        steps: usize,
+        fuel: u64,
+    ) -> Result<(), GcrError> {
+        self.run_fueled(sink, steps, fuel)
+    }
+
+    fn run_fueled<S: TraceSink>(
+        &mut self,
+        sink: &mut S,
+        steps: usize,
+        fuel: u64,
+    ) -> Result<(), GcrError> {
         // Split borrows: body is part of prog (shared), the rest is mutable.
         let body = &self.prog.body;
         let mut ctx = Ctx {
@@ -168,15 +221,13 @@ impl<'p> Machine<'p> {
             vars: &mut self.vars,
             op_counts: &self.op_counts,
             stats: &mut self.stats,
+            fuel,
+            fuel_limit: fuel,
         };
-        ctx.run_list(body, sink);
-    }
-
-    /// Executes the body `steps` times (the time-step loop of the kernels).
-    pub fn run_steps<S: TraceSink>(&mut self, sink: &mut S, steps: usize) {
         for _ in 0..steps {
-            self.run(sink);
+            ctx.run_list(body, sink)?;
         }
+        Ok(())
     }
 
     /// Reads an array's contents in logical (odometer) order, regardless of
@@ -193,15 +244,23 @@ impl<'p> Machine<'p> {
     /// Writes an array's contents in logical (odometer) order — the inverse
     /// of [`Machine::read_array`]; used to equalize initial data between
     /// program versions whose array identities differ (e.g. after array
-    /// splitting).
-    pub fn write_array(&mut self, a: ArrayId, vals: &[f64]) {
+    /// splitting). Fails with [`GcrError::LayoutMismatch`] when the value
+    /// count disagrees with the layout's element count.
+    pub fn write_array(&mut self, a: ArrayId, vals: &[f64]) -> Result<(), GcrError> {
         let al = &self.layout.arrays[a.index()];
-        assert_eq!(vals.len(), al.len(), "value count must match the array size");
+        if vals.len() != al.len() {
+            return Err(GcrError::LayoutMismatch {
+                array: self.prog.array(a).name.clone(),
+                expected: al.len(),
+                got: vals.len(),
+            });
+        }
         let mut it = vals.iter();
         let mem = &mut self.mem;
         for_each_index(&al.extents, |idx| {
             mem[al.addr(idx) / crate::layout::ELEM_BYTES] = *it.next().unwrap();
         });
+        Ok(())
     }
 
     /// Sum over all arrays' logical contents (cheap equivalence signal).
@@ -258,24 +317,44 @@ struct Ctx<'a> {
     vars: &'a mut Vec<i64>,
     op_counts: &'a [u32],
     stats: &'a mut ExecStats,
+    fuel: u64,
+    fuel_limit: u64,
 }
 
 impl Ctx<'_> {
-    fn run_list<S: TraceSink>(&mut self, stmts: &[GuardedStmt], sink: &mut S) {
-        for gs in stmts {
-            debug_assert!(gs.guard.is_none(), "top-level statements are unguarded");
-            self.run_stmt(&gs.stmt, sink);
+    /// Spends one fuel unit; `Err` when the budget is exhausted.
+    #[inline]
+    fn spend(&mut self) -> Result<(), GcrError> {
+        if self.fuel == 0 {
+            return Err(GcrError::BudgetExceeded {
+                resource: Resource::InterpreterFuel,
+                limit: self.fuel_limit,
+            });
         }
+        self.fuel -= 1;
+        Ok(())
     }
 
-    fn run_stmt<S: TraceSink>(&mut self, stmt: &Stmt, sink: &mut S) {
+    fn run_list<S: TraceSink>(
+        &mut self,
+        stmts: &[GuardedStmt],
+        sink: &mut S,
+    ) -> Result<(), GcrError> {
+        for gs in stmts {
+            debug_assert!(gs.guard.is_none(), "top-level statements are unguarded");
+            self.run_stmt(&gs.stmt, sink)?;
+        }
+        Ok(())
+    }
+
+    fn run_stmt<S: TraceSink>(&mut self, stmt: &Stmt, sink: &mut S) -> Result<(), GcrError> {
         match stmt {
             Stmt::Assign(a) => self.run_assign(a, sink),
             Stmt::Loop(l) => self.run_loop(l, sink),
         }
     }
 
-    fn run_loop<S: TraceSink>(&mut self, l: &Loop, sink: &mut S) {
+    fn run_loop<S: TraceSink>(&mut self, l: &Loop, sink: &mut S) -> Result<(), GcrError> {
         let lo = l.lo.eval(self.binding);
         let hi = l.hi.eval(self.binding);
         // Guards are loop-invariant; outer-variable entries depend only on
@@ -297,6 +376,7 @@ impl Ctx<'_> {
             })
             .collect();
         for t in lo..=hi {
+            self.spend()?;
             self.vars[l.var.index()] = t;
             for (gs, g) in l.body.iter().zip(&guards) {
                 if let Some((glo, ghi)) = g {
@@ -304,12 +384,18 @@ impl Ctx<'_> {
                         continue;
                     }
                 }
-                self.run_stmt(&gs.stmt, sink);
+                self.run_stmt(&gs.stmt, sink)?;
             }
         }
+        Ok(())
     }
 
-    fn run_assign<S: TraceSink>(&mut self, a: &gcr_ir::Assign, sink: &mut S) {
+    fn run_assign<S: TraceSink>(
+        &mut self,
+        a: &gcr_ir::Assign,
+        sink: &mut S,
+    ) -> Result<(), GcrError> {
+        self.spend()?;
         let rhs = self.eval(&a.rhs, a.id, sink);
         let slot = self.locate(&a.lhs);
         let value = match a.kind {
@@ -330,6 +416,7 @@ impl Ctx<'_> {
         self.stats.instances += 1;
         self.stats.flops += u64::from(self.op_counts[a.id.index()]);
         sink.end_instance(a.id);
+        Ok(())
     }
 
     fn eval<S: TraceSink>(&mut self, e: &Expr, stmt: StmtId, sink: &mut S) -> f64 {
@@ -409,13 +496,7 @@ impl Ctx<'_> {
         } else {
             self.stats.reads += 1;
         }
-        sink.access(&AccessEvent {
-            addr: slot.byte,
-            array: r.array,
-            ref_id: r.id,
-            stmt,
-            is_write,
-        });
+        sink.access(&AccessEvent { addr: slot.byte, array: r.array, ref_id: r.id, stmt, is_write });
     }
 }
 
@@ -526,11 +607,7 @@ mod tests {
         let a = b.array("A", &[LinExpr::param(n), LinExpr::param(n)]);
         let i = b.var("i");
         let j = b.var("j");
-        let s = b.assign(
-            a,
-            vec![Subscript::var(j, 0), Subscript::var(i, 0)],
-            Expr::Const(7.0),
-        );
+        let s = b.assign(a, vec![Subscript::var(j, 0), Subscript::var(i, 0)], Expr::Const(7.0));
         let inner = match b.for_(j, LinExpr::konst(1), LinExpr::param(n), vec![s]) {
             Stmt::Loop(mut l) => {
                 l.body[0].outer = vec![(i, Range::consts(2, 3))];
@@ -602,5 +679,47 @@ mod tests {
         let mut c = CountingSink::default();
         m.run_steps(&mut c, 3);
         assert_eq!(m.stats().instances, 9);
+    }
+
+    #[test]
+    fn fuel_budget_terminates_degenerate_runs() {
+        let p = chain_prog();
+        // Tiny memory footprint, huge trip count: only fuel can stop it soon.
+        let mut m = Machine::new(&p, ParamBinding::new(vec![1_000_000]));
+        let err = m.run_guarded(&mut NullSink, 1000).unwrap_err();
+        assert_eq!(
+            err,
+            GcrError::BudgetExceeded { resource: Resource::InterpreterFuel, limit: 1000 }
+        );
+        // Ample fuel: completes fine, budget shared across steps.
+        let mut m = Machine::new(&p, ParamBinding::new(vec![10]));
+        m.run_steps_guarded(&mut NullSink, 2, 1_000).unwrap();
+        assert!(m.run_steps_guarded(&mut NullSink, 2, 30).is_err());
+    }
+
+    #[test]
+    fn memory_cap_rejects_oversized_layouts() {
+        let p = chain_prog();
+        let bind = ParamBinding::new(vec![1_000_000]);
+        let layout = DataLayout::column_major(&p, &bind, 0);
+        let err = match Machine::try_with_layout(&p, bind.clone(), layout, Some(1 << 20)) {
+            Err(e) => e,
+            Ok(_) => panic!("oversized layout accepted"),
+        };
+        assert!(matches!(err, GcrError::BudgetExceeded { resource: Resource::MemoryBytes, .. }));
+        let bind = ParamBinding::new(vec![16]);
+        let layout = DataLayout::column_major(&p, &bind, 0);
+        assert!(Machine::try_with_layout(&p, bind, layout, Some(1 << 20)).is_ok());
+    }
+
+    #[test]
+    fn write_array_checks_length() {
+        let p = chain_prog();
+        let mut m = Machine::new(&p, ParamBinding::new(vec![4]));
+        let a = gcr_ir::ArrayId::from_index(0);
+        let err = m.write_array(a, &[1.0, 2.0]).unwrap_err();
+        assert_eq!(err, GcrError::LayoutMismatch { array: "A".into(), expected: 4, got: 2 });
+        m.write_array(a, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.read_array(a), vec![1.0, 2.0, 3.0, 4.0]);
     }
 }

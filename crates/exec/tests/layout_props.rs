@@ -67,7 +67,7 @@ proptest! {
         let a = gcr_ir::ArrayId::from_index(0);
         let len = (n * n) as usize;
         let vals: Vec<f64> = values.iter().cycle().take(len).copied().collect();
-        m.write_array(a, &vals);
+        m.write_array(a, &vals).unwrap();
         prop_assert_eq!(m.read_array(a), vals);
         m.run(&mut NullSink); // empty body: nothing changes
         prop_assert_eq!(m.stats().instances, 0);

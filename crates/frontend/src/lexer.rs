@@ -175,7 +175,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     bump!();
                 }
-                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && bytes[i + 1].is_ascii_digit()
+                {
                     is_float = true;
                     bump!();
                     while i < bytes.len() && bytes[i].is_ascii_digit() {

@@ -26,6 +26,12 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+impl From<ParseError> for gcr_ir::GcrError {
+    fn from(e: ParseError) -> Self {
+        gcr_ir::GcrError::Parse { line: e.line, col: e.col, msg: e.message }
+    }
+}
+
 /// Intrinsic function names the interpreter knows how to evaluate. The
 /// paper's examples use opaque `f`, `g`, `t`; the kernels use a few more.
 pub(crate) const INTRINSICS: &[&str] = &["f", "g", "h", "t", "u", "w", "relax", "flux", "wave"];
@@ -317,7 +323,9 @@ impl Parser {
                 }),
             },
             [(_, c)] => Err(ParseError {
-                message: format!("loop variable has coefficient {c}; only `i + k` subscripts are allowed"),
+                message: format!(
+                    "loop variable has coefficient {c}; only `i + k` subscripts are allowed"
+                ),
                 line: at.0,
                 col: at.1,
             }),
@@ -398,7 +406,9 @@ impl Parser {
                 self.bump();
                 self.add_name(sign, &n, vars, lin)
             }
-            other => self.err(format!("expected integer or name in linear expression, found {other}")),
+            other => {
+                self.err(format!("expected integer or name in linear expression, found {other}"))
+            }
         }
     }
 

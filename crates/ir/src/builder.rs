@@ -77,12 +77,7 @@ impl ProgramBuilder {
     /// Builds a plain assignment statement.
     pub fn assign(&mut self, array: ArrayId, subs: Vec<Subscript>, rhs: Expr) -> Stmt {
         let lhs = self.aref(array, subs);
-        Stmt::Assign(Assign {
-            id: self.prog.fresh_stmt_id(),
-            lhs,
-            rhs,
-            kind: AssignKind::Normal,
-        })
+        Stmt::Assign(Assign { id: self.prog.fresh_stmt_id(), lhs, rhs, kind: AssignKind::Normal })
     }
 
     /// Builds a reduction statement `lhs = lhs ⊕ rhs`.
@@ -104,12 +99,7 @@ impl ProgramBuilder {
 
     /// Builds a loop over a previously declared variable.
     pub fn for_(&mut self, var: VarId, lo: LinExpr, hi: LinExpr, body: Vec<Stmt>) -> Stmt {
-        Stmt::Loop(Loop {
-            var,
-            lo,
-            hi,
-            body: body.into_iter().map(GuardedStmt::bare).collect(),
-        })
+        Stmt::Loop(Loop { var, lo, hi, body: body.into_iter().map(GuardedStmt::bare).collect() })
     }
 
     /// Appends a top-level statement.

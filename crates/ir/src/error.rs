@@ -1,0 +1,179 @@
+//! `GcrError` — the workspace-wide typed error for every fallible stage of
+//! the optimizer: parsing, validation, fusion legality, regrouping, layout
+//! materialization, and (guarded) execution.
+//!
+//! The paper's pipeline only helps if the transformed program is
+//! semantically identical to the original; when any stage cannot establish
+//! that, it reports a `GcrError` instead of panicking, and the pipeline's
+//! degradation ladder (`gcr-core::pipeline::optimize_checked`) decides
+//! whether to retry with a weaker strategy or surface the error.
+
+use crate::validate::ValidateError;
+use std::fmt;
+
+/// A bounded resource that ran out (see [`GcrError::BudgetExceeded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// Interpreter step fuel (loop iterations + statement instances).
+    InterpreterFuel,
+    /// Bytes of simulated memory a layout may claim.
+    MemoryBytes,
+    /// `GreedilyFuse` worklist steps.
+    FusionWorklist,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::InterpreterFuel => write!(f, "interpreter fuel"),
+            Resource::MemoryBytes => write!(f, "memory bytes"),
+            Resource::FusionWorklist => write!(f, "fusion worklist steps"),
+        }
+    }
+}
+
+/// Any fault the optimizer, interpreter or driver can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GcrError {
+    /// The frontend rejected the source text.
+    Parse {
+        /// 1-based source line.
+        line: u32,
+        /// 1-based source column.
+        col: u32,
+        /// What the parser expected/found.
+        msg: String,
+    },
+    /// A program failed structural validation ([`crate::validate`]).
+    Validate {
+        /// Pipeline stage whose output was invalid (`"input"`, `"prelim"`,
+        /// `"fusion@2"`, ...).
+        stage: String,
+        /// Every problem found.
+        errors: Vec<ValidateError>,
+    },
+    /// A fusion step produced an illegal or budget-breaking result.
+    FusionLegality {
+        /// Why the fusion was rejected.
+        why: String,
+    },
+    /// Data regrouping produced an unusable plan or layout.
+    Regroup {
+        /// What went wrong.
+        why: String,
+    },
+    /// A data layout disagrees with the logical array shape (e.g. an
+    /// array fill with the wrong element count).
+    LayoutMismatch {
+        /// Array involved.
+        array: String,
+        /// Elements the layout expects.
+        expected: usize,
+        /// Elements provided/found.
+        got: usize,
+    },
+    /// Guarded execution failed (a transformed program crashed, went out
+    /// of bounds, or panicked inside a pass).
+    Exec {
+        /// Panic message or fault description.
+        why: String,
+    },
+    /// The differential oracle found the transformed program computing
+    /// different values than the original.
+    OracleMismatch {
+        /// Pipeline stage after which the mismatch appeared.
+        stage: String,
+        /// First array that differs.
+        array: String,
+        /// Human-readable first difference.
+        detail: String,
+    },
+    /// A resource budget ran out before the work finished.
+    BudgetExceeded {
+        /// Which budget.
+        resource: Resource,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// Bad command-line usage (driver only).
+    Usage(String),
+    /// An I/O failure loading input (driver only).
+    Io {
+        /// Path involved.
+        path: String,
+        /// OS error text.
+        why: String,
+    },
+}
+
+impl fmt::Display for GcrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcrError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            GcrError::Validate { stage, errors } => {
+                write!(f, "invalid program after {stage}: ")?;
+                for (i, e) in errors.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+            GcrError::FusionLegality { why } => write!(f, "fusion legality: {why}"),
+            GcrError::Regroup { why } => write!(f, "regrouping failed: {why}"),
+            GcrError::LayoutMismatch { array, expected, got } => {
+                write!(
+                    f,
+                    "layout mismatch on array {array}: expected {expected} elements, got {got}"
+                )
+            }
+            GcrError::Exec { why } => write!(f, "execution fault: {why}"),
+            GcrError::OracleMismatch { stage, array, detail } => {
+                write!(f, "semantic oracle mismatch after {stage} on array {array}: {detail}")
+            }
+            GcrError::BudgetExceeded { resource, limit } => {
+                write!(f, "budget exceeded: {resource} limit {limit} exhausted")
+            }
+            GcrError::Usage(msg) => write!(f, "{msg}"),
+            GcrError::Io { path, why } => write!(f, "{path}: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for GcrError {}
+
+impl From<Vec<ValidateError>> for GcrError {
+    fn from(errors: Vec<ValidateError>) -> Self {
+        GcrError::Validate { stage: "input".into(), errors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GcrError::BudgetExceeded { resource: Resource::InterpreterFuel, limit: 10 };
+        assert!(e.to_string().contains("interpreter fuel"));
+        let e = GcrError::OracleMismatch {
+            stage: "regroup".into(),
+            array: "A".into(),
+            detail: "elem 3: 1 vs 2".into(),
+        };
+        assert!(e.to_string().contains("after regroup"));
+        assert!(e.to_string().contains("array A"));
+        let e = GcrError::Parse { line: 4, col: 7, msg: "unexpected `@`".into() };
+        assert!(e.to_string().starts_with("parse error"));
+    }
+
+    #[test]
+    fn validate_errors_convert() {
+        let e: GcrError = vec![ValidateError::TopLevelGuard].into();
+        assert!(matches!(e, GcrError::Validate { .. }));
+        assert!(e.to_string().contains("top-level"));
+    }
+}

@@ -24,6 +24,7 @@
 //!   fusible.
 
 pub mod builder;
+pub mod error;
 pub mod expr;
 pub mod linexpr;
 pub mod print;
@@ -33,6 +34,7 @@ pub mod subst;
 pub mod validate;
 
 pub use builder::ProgramBuilder;
+pub use error::{GcrError, Resource};
 pub use expr::{BinOp, Expr, UnOp};
 pub use linexpr::{LinExpr, ParamBinding};
 pub use program::{ArrayDecl, ArrayId, ParamDecl, ParamId, Program, RefId, StmtId, VarDecl, VarId};

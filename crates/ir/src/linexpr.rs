@@ -104,19 +104,12 @@ impl LinExpr {
 
     /// The coefficient of `p` (zero when absent).
     pub fn coeff(&self, p: ParamId) -> i64 {
-        self.terms
-            .binary_search_by_key(&p, |&(q, _)| q)
-            .map(|i| self.terms[i].1)
-            .unwrap_or(0)
+        self.terms.binary_search_by_key(&p, |&(q, _)| q).map(|i| self.terms[i].1).unwrap_or(0)
     }
 
     /// Evaluates under a parameter binding.
     pub fn eval(&self, binding: &ParamBinding) -> i64 {
-        self.terms
-            .iter()
-            .map(|&(p, c)| c * binding.get(p))
-            .sum::<i64>()
-            + self.konst
+        self.terms.iter().map(|&(p, c)| c * binding.get(p)).sum::<i64>() + self.konst
     }
 
     /// `self + other`.
@@ -339,10 +332,7 @@ mod tests {
         // 2 < N - 1 for large N
         assert_eq!(two.cmp_for_large_params(&n.add_const(-1)), Some(Ordering::Less));
         // N - 1 vs N - 2
-        assert_eq!(
-            n.add_const(-1).cmp_for_large_params(&n.add_const(-2)),
-            Some(Ordering::Greater)
-        );
+        assert_eq!(n.add_const(-1).cmp_for_large_params(&n.add_const(-2)), Some(Ordering::Greater));
         // equal
         assert_eq!(n.cmp_for_large_params(&n), Some(Ordering::Equal));
     }

@@ -40,12 +40,7 @@ pub fn print_program(p: &Program) -> String {
 /// suffix.
 fn display_names(p: &Program) -> Vec<String> {
     let mut names: Vec<String> = p.vars.iter().map(|v| v.name.clone()).collect();
-    fn walk(
-        p: &Program,
-        stmts: &[GuardedStmt],
-        active: &mut Vec<String>,
-        names: &mut Vec<String>,
-    ) {
+    fn walk(p: &Program, stmts: &[GuardedStmt], active: &mut Vec<String>, names: &mut Vec<String>) {
         for gs in stmts {
             if let Stmt::Loop(l) = &gs.stmt {
                 let base = &p.var(l.var).name;
@@ -153,7 +148,11 @@ fn prec(e: &Expr) -> u8 {
     match e {
         Expr::Bin(BinOp::Add | BinOp::Sub, ..) => 1,
         Expr::Var { offset, .. } if *offset != 0 => 1,
-        Expr::Lin(l) if l.as_const().is_none() && (l.terms().len() > 1 || l.constant_part() != 0) => 1,
+        Expr::Lin(l)
+            if l.as_const().is_none() && (l.terms().len() > 1 || l.constant_part() != 0) =>
+        {
+            1
+        }
         Expr::Bin(BinOp::Mul | BinOp::Div, ..) => 2,
         Expr::Unary(UnOp::Neg, _) => 3,
         _ => 4,

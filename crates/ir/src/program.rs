@@ -177,7 +177,11 @@ impl Program {
 
     /// Iterates over all statements (pre-order, outermost first).
     pub fn walk<'a>(&'a self, mut f: impl FnMut(&'a GuardedStmt, usize)) {
-        fn go<'a>(stmts: &'a [GuardedStmt], depth: usize, f: &mut impl FnMut(&'a GuardedStmt, usize)) {
+        fn go<'a>(
+            stmts: &'a [GuardedStmt],
+            depth: usize,
+            f: &mut impl FnMut(&'a GuardedStmt, usize),
+        ) {
             for gs in stmts {
                 f(gs, depth);
                 if let crate::stmt::Stmt::Loop(l) = &gs.stmt {
@@ -201,10 +205,7 @@ impl Program {
 
     /// Number of *top-level* loop nests.
     pub fn count_nests(&self) -> usize {
-        self.body
-            .iter()
-            .filter(|gs| matches!(gs.stmt, crate::stmt::Stmt::Loop(_)))
-            .count()
+        self.body.iter().filter(|gs| matches!(gs.stmt, crate::stmt::Stmt::Loop(_))).count()
     }
 
     /// Maximum loop nesting depth.

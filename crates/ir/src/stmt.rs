@@ -139,10 +139,7 @@ impl Range {
     /// True when the range is empty for all large parameter values (best
     /// effort: compares bounds under the large-parameter order).
     pub fn is_empty_large(&self) -> bool {
-        matches!(
-            self.lo.cmp_for_large_params(&self.hi),
-            Some(std::cmp::Ordering::Greater)
-        )
+        matches!(self.lo.cmp_for_large_params(&self.hi), Some(std::cmp::Ordering::Greater))
     }
 }
 

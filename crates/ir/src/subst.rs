@@ -141,7 +141,11 @@ mod tests {
     fn stmt(sub: Subscript, rhs_sub: Subscript) -> Stmt {
         Stmt::Assign(Assign {
             id: StmtId::from_index(0),
-            lhs: ArrayRef { id: RefId::from_index(0), array: ArrayId::from_index(0), subs: vec![sub] },
+            lhs: ArrayRef {
+                id: RefId::from_index(0),
+                array: ArrayId::from_index(0),
+                subs: vec![sub],
+            },
             rhs: Expr::Read(ArrayRef {
                 id: RefId::from_index(1),
                 array: ArrayId::from_index(1),

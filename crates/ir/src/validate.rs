@@ -78,9 +78,8 @@ impl<'p> Validator<'p> {
         for s in &r.subs {
             if let Some(v) = s.var_id() {
                 if !self.scope.contains(&v) {
-                    self.errors.push(ValidateError::UnboundVar {
-                        var: self.prog.var(v).name.clone(),
-                    });
+                    self.errors
+                        .push(ValidateError::UnboundVar { var: self.prog.var(v).name.clone() });
                 }
             }
         }
@@ -91,9 +90,8 @@ impl<'p> Validator<'p> {
             Expr::Read(r) => self.check_ref(r),
             Expr::Var { var, .. } => {
                 if !self.scope.contains(var) {
-                    self.errors.push(ValidateError::UnboundVar {
-                        var: self.prog.var(*var).name.clone(),
-                    });
+                    self.errors
+                        .push(ValidateError::UnboundVar { var: self.prog.var(*var).name.clone() });
                 }
             }
             Expr::Unary(_, a) => self.check_expr(a),
@@ -117,9 +115,8 @@ impl<'p> Validator<'p> {
             }
             for (v, _) in &gs.outer {
                 if !self.scope.contains(v) {
-                    self.errors.push(ValidateError::UnboundVar {
-                        var: self.prog.var(*v).name.clone(),
-                    });
+                    self.errors
+                        .push(ValidateError::UnboundVar { var: self.prog.var(*v).name.clone() });
                 }
             }
             match &gs.stmt {
@@ -144,12 +141,8 @@ impl<'p> Validator<'p> {
 
 /// Validates a program, returning every problem found.
 pub fn validate(prog: &Program) -> Result<(), Vec<ValidateError>> {
-    let mut v = Validator {
-        prog,
-        scope: Vec::new(),
-        seen_loop_vars: HashSet::new(),
-        errors: Vec::new(),
-    };
+    let mut v =
+        Validator { prog, scope: Vec::new(), seen_loop_vars: HashSet::new(), errors: Vec::new() };
     v.check_stmts(&prog.body, true);
     if v.errors.is_empty() {
         Ok(())

@@ -1,14 +1,17 @@
 //! Algebraic laws of the symbolic linear expressions.
 
-use gcr_ir::{LinExpr, ParamBinding};
 use gcr_ir::ParamId;
+use gcr_ir::{LinExpr, ParamBinding};
 use proptest::prelude::*;
 
 /// Arbitrary linear expression over two parameters.
 fn lin() -> impl Strategy<Value = LinExpr> {
     (-50i64..50, -50i64..50, -100i64..100).prop_map(|(a, b, k)| {
-        LinExpr::affine(ParamId::from_index(0), a, 0)
-            .add(&LinExpr::affine(ParamId::from_index(1), b, k))
+        LinExpr::affine(ParamId::from_index(0), a, 0).add(&LinExpr::affine(
+            ParamId::from_index(1),
+            b,
+            k,
+        ))
     })
 }
 

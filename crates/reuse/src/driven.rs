@@ -75,8 +75,8 @@ impl DepGraph {
         let mut counts = vec![0u32; ndata + 1];
         let mut last_seen = vec![u32::MAX; ndata];
         for i in 0..n {
-            for k in trace.starts[i] as usize..trace.starts[i + 1] as usize {
-                let d = datum_of[k] as usize;
+            for &dk in &datum_of[trace.starts[i] as usize..trace.starts[i + 1] as usize] {
+                let d = dk as usize;
                 if last_seen[d] != i as u32 {
                     last_seen[d] = i as u32;
                     counts[d + 1] += 1;
@@ -91,8 +91,8 @@ impl DepGraph {
         let mut fill = tstarts.clone();
         let mut last_seen = vec![u32::MAX; ndata];
         for i in 0..n {
-            for k in trace.starts[i] as usize..trace.starts[i + 1] as usize {
-                let d = datum_of[k] as usize;
+            for &dk in &datum_of[trace.starts[i] as usize..trace.starts[i + 1] as usize] {
+                let d = dk as usize;
                 if last_seen[d] != i as u32 {
                     last_seen[d] = i as u32;
                     touchers[fill[d] as usize] = i as u32;
@@ -157,7 +157,7 @@ impl<'a> NextUse<'a> {
         for k in s..e {
             let d = self.deps.datum_of[k];
             if let Some(j) = self.first_unexecuted(d, executed) {
-                if best.map_or(true, |b| ideal_pos[j as usize] < ideal_pos[b as usize]) {
+                if best.is_none_or(|b| ideal_pos[j as usize] < ideal_pos[b as usize]) {
                     best = Some(j);
                 }
             }
@@ -173,12 +173,7 @@ pub fn ideal_parallel_order(trace: &InstrTrace, deps: &DepGraph) -> Vec<u32> {
     let mut level = vec![0u32; n];
     let mut max_level = 0;
     for i in 0..n {
-        let l = deps
-            .producers(i)
-            .iter()
-            .map(|&p| level[p as usize] + 1)
-            .max()
-            .unwrap_or(0);
+        let l = deps.producers(i).iter().map(|&p| level[p as usize] + 1).max().unwrap_or(0);
         level[i] = l;
         max_level = max_level.max(l);
     }
@@ -191,8 +186,8 @@ pub fn ideal_parallel_order(trace: &InstrTrace, deps: &DepGraph) -> Vec<u32> {
         counts[k] += counts[k - 1];
     }
     let mut order = vec![0u32; n];
-    for i in 0..n {
-        let l = level[i] as usize;
+    for (i, &l) in level.iter().enumerate() {
+        let l = l as usize;
         order[counts[l] as usize] = i as u32;
         counts[l] += 1;
     }
@@ -233,8 +228,8 @@ pub fn reuse_driven_order_with(trace: &InstrTrace, policy: NextUsePolicy) -> Vec
             }
         }
         NextUsePolicy::TraceOrder => {
-            for i in 0..n {
-                ideal_pos[i] = i as u32;
+            for (i, p) in ideal_pos.iter_mut().enumerate() {
+                *p = i as u32;
             }
         }
     }
@@ -247,10 +242,10 @@ pub fn reuse_driven_order_with(trace: &InstrTrace, policy: NextUsePolicy) -> Vec
     // ForceExecute(j): execute unexecuted producers first, then j; every
     // executed instruction is enqueued.
     let force_execute = |j: u32,
-                             executed: &mut Vec<bool>,
-                             order: &mut Vec<u32>,
-                             queue: &mut VecDeque<u32>,
-                             stack: &mut Vec<u32>| {
+                         executed: &mut Vec<bool>,
+                         order: &mut Vec<u32>,
+                         queue: &mut VecDeque<u32>,
+                         stack: &mut Vec<u32>| {
         stack.clear();
         stack.push(j);
         while let Some(&top) = stack.last() {

@@ -24,8 +24,8 @@ pub mod sampled;
 pub mod trace;
 
 pub use distance::{DistanceSink, Histogram, ReuseDistanceAnalyzer};
-pub use predict::{miss_ratio_curve, predicted_miss_ratio, predicted_misses};
-pub use sampled::SampledAnalyzer;
 pub use driven::reuse_driven_order;
 pub use evadable::{evadable_fraction, EvadableReport, RefStats};
+pub use predict::{miss_ratio_curve, predicted_miss_ratio, predicted_misses};
+pub use sampled::SampledAnalyzer;
 pub use trace::{InstrTrace, TraceCapture};

@@ -111,11 +111,7 @@ mod tests {
                     }
                 }
             }
-            assert_eq!(
-                predicted_misses(&analyzer.hist, cap as u64),
-                misses,
-                "capacity {cap}"
-            );
+            assert_eq!(predicted_misses(&analyzer.hist, cap as u64), misses, "capacity {cap}");
         }
     }
 

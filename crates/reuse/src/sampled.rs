@@ -39,7 +39,7 @@ impl SampledAnalyzer {
     }
 
     fn watched(&self, datum: u64) -> bool {
-        datum.wrapping_mul(0x9e37_79b9_7f4a_7c15) % self.rate == 0
+        datum.wrapping_mul(0x9e37_79b9_7f4a_7c15).is_multiple_of(self.rate)
     }
 
     /// Processes one access; returns the scaled distance estimate for
@@ -99,10 +99,7 @@ mod tests {
             wsum as f64 / tot.max(1) as f64
         };
         let (me, ma) = (mean(&exact.hist), mean(&approx.hist));
-        assert!(
-            (me - ma).abs() / me < 0.5,
-            "exact mean {me}, sampled mean {ma}"
-        );
+        assert!((me - ma).abs() / me < 0.5, "exact mean {me}, sampled mean {ma}");
         // Scaled totals are in the right ballpark.
         let total_exact = exact.hist.reuses + exact.hist.cold;
         let total_approx = approx.hist.reuses + approx.hist.cold;

@@ -45,10 +45,7 @@ fn main() {
         let (layout, report) = regroup(&prog, &bind, &opts);
         println!("--- {level:?} ---");
         for (k, al) in layout.arrays.iter().enumerate() {
-            println!(
-                "  {:<2} base {:>4}  strides {:?}",
-                prog.arrays[k].name, al.base, al.strides
-            );
+            println!("  {:<2} base {:>4}  strides {:?}", prog.arrays[k].name, al.base, al.strides);
         }
         describe(&layout, &report);
     }

@@ -54,11 +54,9 @@ for i = 1, N {
     let (h_driven, _) = measure_order(&trace, &driven);
 
     println!("{:<16} {:>14} {:>20}", "order", "reuses", "distance >= 4096");
-    for (name, h) in [
-        ("program order", &h_prog),
-        ("ideal parallel", &h_ideal),
-        ("reuse-driven", &h_driven),
-    ] {
+    for (name, h) in
+        [("program order", &h_prog), ("ideal parallel", &h_ideal), ("reuse-driven", &h_driven)]
+    {
         println!("{:<16} {:>14} {:>20}", name, h.reuses, h.at_least(4096));
     }
     println!("\nReuse-driven execution chases each value's next consumer, so the");

@@ -43,10 +43,7 @@ for i = 3, N {
         machine.run(&mut sink);
         let h = &sink.analyzer.hist;
         let long = h.at_least(1024);
-        println!(
-            "{name:>8}: {} reuses, {} with distance >= 1024 elements",
-            h.reuses, long
-        );
+        println!("{name:>8}: {} reuses, {} with distance >= 1024 elements", h.reuses, long);
     }
     println!("\nFusion turns the O(N) reuse distances between the loops into O(1).");
 }

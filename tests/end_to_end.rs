@@ -76,7 +76,7 @@ fn full_pipeline_is_semantics_preserving() {
             let vals = m1.read_array(global_cache_reuse::ir::ArrayId::from_index(ai));
             if let Some(t) = opt.program.array_by_name(&decl.name) {
                 if opt.program.array(t).rank() == decl.rank() {
-                    m2.write_array(t, &vals);
+                    m2.write_array(t, &vals).unwrap();
                     continue;
                 }
             }
@@ -87,7 +87,7 @@ fn full_pipeline_is_semantics_preserving() {
                     .array_by_name(&format!("{}__{}", decl.name, cidx + 1))
                     .expect("split component exists");
                 let slice: Vec<f64> = vals.iter().skip(cidx).step_by(comps).copied().collect();
-                m2.write_array(part, &slice);
+                m2.write_array(part, &slice).unwrap();
             }
         }
         m1.run_steps(&mut NullSink, 2);

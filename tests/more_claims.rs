@@ -26,13 +26,7 @@ fn combined_strategy_beats_original_everywhere() {
     for app in gcr_apps::evaluation_apps() {
         let t0 = cycles(&app, Strategy::Original);
         let t1 = cycles(&app, NEW);
-        assert!(
-            t1 < t0 * 1.0,
-            "{}: combined {:.3e} vs original {:.3e}",
-            app.name,
-            t1,
-            t0
-        );
+        assert!(t1 < t0 * 1.0, "{}: combined {:.3e} vs original {:.3e}", app.name, t1, t0);
     }
 }
 
@@ -103,21 +97,13 @@ fn global_strategy_beats_baseline_on_l2() {
             let opt = global_cache_reuse::opt::pipeline::apply_strategy(&prog, strategy);
             let layout = opt.layout(&bind);
             let mut m = Machine::with_layout(&opt.program, bind.clone(), layout);
-            let mut sink = HierarchySink::new(MemoryHierarchy::origin2000_scaled(
-                app.l1_scale,
-                app.l2_scale,
-            ));
+            let mut sink =
+                HierarchySink::new(MemoryHierarchy::origin2000_scaled(app.l1_scale, app.l2_scale));
             m.run_steps(&mut sink, 2);
             sink.hierarchy.counts().l2
         };
         let sgi = l2(Strategy::Sgi);
         let new = l2(NEW);
-        assert!(
-            new <= sgi + sgi * 15 / 100,
-            "{}: New {} vs SGI {} on L2",
-            app.name,
-            new,
-            sgi
-        );
+        assert!(new <= sgi + sgi * 15 / 100, "{}: New {} vs SGI {} on L2", app.name, new, sgi);
     }
 }

@@ -7,9 +7,7 @@ use global_cache_reuse::exec::Machine;
 use global_cache_reuse::ir::ParamBinding;
 use global_cache_reuse::opt::pipeline::{apply_strategy, Strategy};
 use global_cache_reuse::opt::regroup::RegroupLevel;
-use global_cache_reuse::reuse::driven::{
-    measure_order, measure_program_order, reuse_driven_order,
-};
+use global_cache_reuse::reuse::driven::{measure_order, measure_program_order, reuse_driven_order};
 use global_cache_reuse::reuse::TraceCapture;
 
 fn measure(app: &gcr_apps::AppSpec, strategy: Strategy, size: i64) -> (f64, [u64; 3]) {
@@ -17,7 +15,8 @@ fn measure(app: &gcr_apps::AppSpec, strategy: Strategy, size: i64) -> (f64, [u64
     let opt = apply_strategy(&prog, strategy);
     let layout = opt.layout(&bind);
     let mut m = Machine::with_layout(&opt.program, bind, layout);
-    let mut sink = HierarchySink::new(MemoryHierarchy::origin2000_scaled(app.l1_scale, app.l2_scale));
+    let mut sink =
+        HierarchySink::new(MemoryHierarchy::origin2000_scaled(app.l1_scale, app.l2_scale));
     m.run_steps(&mut sink, 2);
     let c = sink.hierarchy.counts();
     (CostModel::default().cycles(&m.stats(), &c), [c.l1, c.l2, c.tlb])

@@ -8,7 +8,7 @@ use global_cache_reuse::ir::{
 };
 use global_cache_reuse::opt::pipeline::{apply_strategy, Strategy as OptStrategy};
 use global_cache_reuse::opt::regroup::RegroupLevel;
-use global_cache_reuse::opt::{fuse_program, FusionOptions};
+use global_cache_reuse::opt::{fuse_program, optimize_checked, FusionOptions, SafetyOptions};
 use proptest::prelude::*;
 
 const NARRAYS: usize = 3;
@@ -33,13 +33,7 @@ enum RandItem {
 }
 
 fn stmt_strategy() -> impl Strategy<Value = RandStmt> {
-    (
-        0..NARRAYS,
-        -2i64..=2,
-        0..NARRAYS,
-        -2i64..=2,
-        proptest::option::of((0..NARRAYS, -2i64..=2)),
-    )
+    (0..NARRAYS, -2i64..=2, 0..NARRAYS, -2i64..=2, proptest::option::of((0..NARRAYS, -2i64..=2)))
         .prop_map(|(lhs, lhs_off, rhs1, rhs1_off, rhs2)| RandStmt {
             lhs,
             lhs_off,
@@ -60,9 +54,8 @@ fn item_strategy() -> impl Strategy<Value = RandItem> {
 fn build(items: &[RandItem]) -> Program {
     let mut b = ProgramBuilder::new("rand");
     let n = b.param("N");
-    let arrays: Vec<_> = (0..NARRAYS)
-        .map(|k| b.array(format!("A{k}"), &[LinExpr::param(n)]))
-        .collect();
+    let arrays: Vec<_> =
+        (0..NARRAYS).map(|k| b.array(format!("A{k}"), &[LinExpr::param(n)])).collect();
     for (li, item) in items.iter().enumerate() {
         match item {
             RandItem::Loop(stmts) => {
@@ -84,7 +77,8 @@ fn build(items: &[RandItem]) -> Program {
             }
             RandItem::Boundary { lhs, c1, rhs, c2 } => {
                 let r = b.read(arrays[*rhs], vec![Subscript::konst(*c2)]);
-                let s = b.assign(arrays[*lhs], vec![Subscript::konst(*c1)], Expr::Call("g", vec![r]));
+                let s =
+                    b.assign(arrays[*lhs], vec![Subscript::konst(*c1)], Expr::Call("g", vec![r]));
                 b.push(s);
             }
         }
@@ -93,7 +87,11 @@ fn build(items: &[RandItem]) -> Program {
 }
 
 /// Runs a program and returns all array contents.
-fn run(prog: &Program, layout: Option<global_cache_reuse::exec::DataLayout>, n: i64) -> Vec<Vec<f64>> {
+fn run(
+    prog: &Program,
+    layout: Option<global_cache_reuse::exec::DataLayout>,
+    n: i64,
+) -> Vec<Vec<f64>> {
     let bind = ParamBinding::new(vec![n]);
     let mut m = match layout {
         Some(l) => Machine::with_layout(prog, bind, l),
@@ -200,6 +198,68 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Fail-safe pipeline: optimize_checked must never panic, and on well-formed
+// programs it must succeed without touching a fallback rung.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Anything the parser accepts, the checked optimizer survives: it may
+    /// return an error (or degrade), but it must not panic — even on
+    /// programs whose original version cannot execute.
+    #[test]
+    fn optimize_checked_never_panics_on_parsed_soup(words in proptest::collection::vec(
+        prop_oneof![
+            Just("program".to_string()), Just("p".to_string()),
+            Just("param".to_string()), Just("N".to_string()),
+            Just("array".to_string()), Just("A".to_string()),
+            Just("B".to_string()), Just("for".to_string()),
+            Just("i".to_string()), Just("=".to_string()),
+            Just(",".to_string()), Just("{".to_string()),
+            Just("}".to_string()), Just("[".to_string()),
+            Just("]".to_string()), Just("+".to_string()),
+            Just("-".to_string()), Just("*".to_string()),
+            Just("1".to_string()), Just("2".to_string()),
+            Just("f".to_string()), Just("(".to_string()),
+            Just(")".to_string()), Just("\n".to_string()),
+        ], 0..48)) {
+        if let Ok(prog) = global_cache_reuse::frontend::parse(&words.join(" ")) {
+            let safety = SafetyOptions {
+                fuel: Some(200_000),
+                max_bytes: Some(1 << 20),
+                ..Default::default()
+            };
+            let _ = optimize_checked(&prog, &fuse_regroup_opts(), &safety);
+        }
+    }
+}
+
+fn fuse_regroup_opts() -> global_cache_reuse::opt::pipeline::OptimizeOptions {
+    OptStrategy::FusionRegroup { levels: 2, regroup: RegroupLevel::Multi }.options()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On well-formed random programs the checked pipeline succeeds, keeps
+    /// its oracle enabled, and never needs a fallback: every pass it runs
+    /// is verified clean.
+    #[test]
+    fn checked_pipeline_is_clean_on_generated_programs(
+        items in proptest::collection::vec(item_strategy(), 1..5),
+    ) {
+        let orig = build(&items);
+        let opt = optimize_checked(&orig, &fuse_regroup_opts(), &SafetyOptions::default());
+        prop_assert!(opt.is_ok(), "{:?}", opt.err());
+        let opt = opt.unwrap();
+        prop_assert!(opt.robustness.oracle_disabled.is_none());
+        prop_assert!(!opt.robustness.degraded(), "{:?}", opt.robustness.describe());
+        prop_assert!(opt.robustness.checks > 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Two-dimensional programs: multi-level fusion with outer-guard entries
 // ---------------------------------------------------------------------------
 
@@ -215,13 +275,7 @@ struct Rand2D {
 }
 
 fn stmt2d() -> impl Strategy<Value = Rand2D> {
-    (
-        0..NARRAYS,
-        (-1i64..=1, -1i64..=1),
-        0..NARRAYS,
-        (-2i64..=2, -2i64..=2),
-        0i64..=2,
-    )
+    (0..NARRAYS, (-1i64..=1, -1i64..=1), 0..NARRAYS, (-2i64..=2, -2i64..=2), 0i64..=2)
         .prop_map(|(lhs, lo, rhs, ro, lo_shift)| Rand2D { lhs, lo, rhs, ro, lo_shift })
 }
 
@@ -234,21 +288,15 @@ fn build2d(items: &[Rand2D]) -> Program {
     for (li, it) in items.iter().enumerate() {
         let iv = b.var(format!("i{li}"));
         let jv = b.var(format!("j{li}"));
-        let rhs = b.read(
-            arrays[it.rhs],
-            vec![Subscript::var(jv, it.ro.0), Subscript::var(iv, it.ro.1)],
-        );
+        let rhs =
+            b.read(arrays[it.rhs], vec![Subscript::var(jv, it.ro.0), Subscript::var(iv, it.ro.1)]);
         let s = b.assign(
             arrays[it.lhs],
             vec![Subscript::var(jv, it.lo.0), Subscript::var(iv, it.lo.1)],
             Expr::Call("f", vec![rhs]),
         );
-        let inner = b.for_(
-            jv,
-            LinExpr::konst(3 + it.lo_shift),
-            LinExpr::param(n).add_const(-3),
-            vec![s],
-        );
+        let inner =
+            b.for_(jv, LinExpr::konst(3 + it.lo_shift), LinExpr::param(n).add_const(-3), vec![s]);
         let outer = b.for_(
             iv,
             LinExpr::konst(3 + it.lo_shift),
