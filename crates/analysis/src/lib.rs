@@ -22,6 +22,24 @@
 //!   the machinery behind the paper's `FusibleTest`;
 //! * [`stats`] — static program statistics (Figure 9);
 //! * [`summary`] — printable per-loop data-footprint records (Section 4.1).
+//!
+//! The usual entry point is [`stats::program_stats`]:
+//!
+//! ```
+//! let prog = gcr_frontend::parse("
+//! program demo
+//! param N
+//! array A[N], B[N]
+//! for i = 1, N {
+//!   A[i] = f(A[i])
+//! }
+//! for i = 1, N {
+//!   B[i] = g(A[i], B[i])
+//! }
+//! ").unwrap();
+//! let st = gcr_analysis::stats::program_stats(&prog);
+//! assert_eq!((st.loops, st.nests, st.arrays), (2, 2, 2));
+//! ```
 
 pub mod access;
 pub mod align;

@@ -4,11 +4,16 @@
 //! L2 and TLB miss counts for: the original program, fusion only, and
 //! fusion + data regrouping; SP additionally gets the one-level-fusion bar.
 //! Values are printed normalized to the original (the paper's bars) along
-//! with absolute counts and the original miss rates.
+//! with absolute counts and the original miss rates. A machine-readable
+//! report set (schema `gcr-report-set/v1`, one entry per app × strategy
+//! with the full pass trace and per-phase miss breakdown) is written to
+//! `results/fig10.json` (override with `--json <path>`).
 //!
-//! Usage: `fig10 [--size-scale F] [--steps K] [--ablation] [--app NAME]`
+//! Usage: `fig10 [--size-scale F] [--steps K] [--ablation] [--app NAME]
+//! [--json PATH]`
 
-use gcr_bench::{fig10_strategies, print_table, try_measure_strategy, STEPS};
+use gcr_bench::{fig10_strategies, print_table, try_measure_strategy_report, STEPS};
+use gcr_cli::ReportSet;
 use gcr_core::pipeline::Strategy;
 use gcr_core::regroup::RegroupLevel;
 
@@ -21,6 +26,8 @@ fn main() {
     let steps: usize = get("--steps").map(|s| s.parse().unwrap()).unwrap_or(STEPS);
     let ablation = args.iter().any(|a| a == "--ablation");
     let only = get("--app");
+    let json_path = get("--json").unwrap_or_else(|| "results/fig10.json".into());
+    let mut set = ReportSet::new("fig10", "Figure 10: effect of transformations");
 
     for app in gcr_apps::evaluation_apps() {
         if let Some(name) = &only {
@@ -42,11 +49,12 @@ fn main() {
         // must not kill the sweep: report it on stderr and keep going.
         let measurements: Vec<_> = strategies
             .iter()
-            .filter_map(|&s| match try_measure_strategy(&app, s, size, steps) {
-                Ok((m, diagnostics)) => {
+            .filter_map(|&s| match try_measure_strategy_report("fig10", &app, s, size, steps) {
+                Ok((m, report, diagnostics)) => {
                     for d in diagnostics {
                         eprintln!("{}/{}: {d}", app.name, s.label());
                     }
+                    set.reports.push(report);
                     Some(m)
                 }
                 Err(e) => {
@@ -92,5 +100,9 @@ fn main() {
             ],
             &rows,
         );
+    }
+    match set.write(&json_path) {
+        Ok(()) => println!("\nJSON report set ({} runs) written to {json_path}", set.reports.len()),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
     }
 }

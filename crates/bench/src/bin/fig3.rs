@@ -8,34 +8,71 @@
 //! move left under reuse-driven execution, and how the hills move right as
 //! the input grows (the evadable reuses).
 //!
-//! Usage: `fig3 [--quick]`
+//! A machine-readable report set (schema `gcr-report-set/v1`, one entry
+//! per plot; the curves ride in the profile section's `per_phase` list,
+//! labelled by execution order) is written to `results/fig3.json`
+//! (override with `--json <path>`).
+//!
+//! Usage: `fig3 [--quick] [--json PATH]`
 
 use gcr_bench::{capture_trace, render_histogram};
+use gcr_cli::report::{ProfileSection, ProgramInfo};
+use gcr_cli::{Report, ReportSet};
 use gcr_core::{fuse_program, FusionOptions};
 use gcr_ir::ParamBinding;
 use gcr_reuse::driven::{measure_order, measure_program_order, reuse_driven_order};
+use gcr_reuse::{Histogram, ReuseProfile};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/fig3.json".into());
     let adi_sizes: &[i64] = if quick { &[26, 50] } else { &[50, 100] };
     let sp_sizes: &[i64] = if quick { &[8, 14] } else { &[14, 28] };
+    let mut set = ReportSet::new("fig3", "Figure 3: effect of reuse-driven execution");
 
     for &n in adi_sizes {
         let prog = gcr_apps::adi::program();
-        plot(&format!("ADI, {n}x{n}"), &prog, ParamBinding::new(vec![n]), false);
+        plot(&mut set, &format!("ADI, {n}x{n}"), &prog, ParamBinding::new(vec![n]), n, false);
     }
     for &n in sp_sizes {
         let prog = gcr_apps::sp::program();
         let with_fusion = n == *sp_sizes.last().unwrap();
-        plot(&format!("NAS/SP, {n}x{n}x{n}"), &prog, ParamBinding::new(vec![n]), with_fusion);
+        plot(
+            &mut set,
+            &format!("NAS/SP, {n}x{n}x{n}"),
+            &prog,
+            ParamBinding::new(vec![n]),
+            n,
+            with_fusion,
+        );
+    }
+    match set.write(&json_path) {
+        Ok(()) => {
+            println!("\nJSON report set ({} plots) written to {json_path}", set.reports.len())
+        }
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
     }
 }
 
-fn plot(name: &str, prog: &gcr_ir::Program, bind: ParamBinding, with_fusion: bool) {
+fn plot(
+    set: &mut ReportSet,
+    name: &str,
+    prog: &gcr_ir::Program,
+    bind: ParamBinding,
+    size: i64,
+    with_fusion: bool,
+) {
     let trace = capture_trace(prog, bind.clone());
     let (h_prog, _) = measure_program_order(&trace);
     let order = reuse_driven_order(&trace);
     let (h_driven, _) = measure_order(&trace, &order);
+    let mut curves: Vec<(String, Histogram)> =
+        vec![("program order".into(), h_prog.clone()), ("reuse-driven".into(), h_driven.clone())];
     if with_fusion {
         // Third curve: reuse-based fusion (source-level), program order.
         let mut fused = prog.clone();
@@ -46,6 +83,7 @@ fn plot(name: &str, prog: &gcr_ir::Program, bind: ParamBinding, with_fusion: boo
         fused = f;
         let ftrace = capture_trace(&fused, bind);
         let (h_fused, _) = measure_program_order(&ftrace);
+        curves.insert(1, ("reuse-fusion".into(), h_fused.clone()));
         render_histogram(
             name,
             &[("program order", &h_prog), ("reuse-fusion", &h_fused), ("reuse-driven", &h_driven)],
@@ -53,4 +91,27 @@ fn plot(name: &str, prog: &gcr_ir::Program, bind: ParamBinding, with_fusion: boo
     } else {
         render_histogram(name, &[("program order", &h_prog), ("reuse-driven", &h_driven)]);
     }
+    let info = ProgramInfo::of(prog);
+    set.reports.push(Report {
+        generator: "fig3".into(),
+        program: info.clone(),
+        output: info,
+        requested: name.into(),
+        delivered: name.into(),
+        checks: 0,
+        oracle_disabled: None,
+        trace: Vec::new(),
+        fallbacks: Vec::new(),
+        profile: Some(ProfileSection {
+            size,
+            steps: 1,
+            profile: ReuseProfile {
+                granularity: 8,
+                global: h_prog,
+                per_array: Vec::new(),
+                per_phase: curves,
+            },
+        }),
+        simulation: None,
+    });
 }

@@ -1,12 +1,29 @@
 //! SP transformation statistics (Section 4.4 of the paper): loop counts
 //! before/after the preliminary passes and per fusion level, and the array
 //! splitting / regrouping inventory (15 -> 42 -> 17 in the paper).
+//!
+//! A machine-readable report set (schema `gcr-report-set/v1`, one entry
+//! per fusion depth with the full pass trace) is written to
+//! `results/sp_stats.json` (override with `--json <path>`).
+//!
+//! Usage: `sp_stats [--json PATH]`
 
+use gcr_cli::{Report, ReportSet};
+use gcr_core::checked::{apply_strategy_checked_traced, SafetyOptions};
 use gcr_core::fusion::loops_per_level;
-use gcr_core::pipeline::{apply_strategy, Strategy};
+use gcr_core::pipeline::Strategy;
 use gcr_core::regroup::RegroupLevel;
+use gcr_core::Tracer;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/sp_stats.json".into());
+    let mut set = ReportSet::new("sp_stats", "Section 4.4: SP transformation statistics");
+
     let orig = gcr_apps::sp::program();
     println!(
         "SP original: {} loops in {} nests, {} arrays",
@@ -22,8 +39,20 @@ fn main() {
     println!("  arrays: {}", prelim.arrays.iter().filter(|a| !a.is_scalar()).count());
 
     for levels in [1, 3] {
-        let opt =
-            apply_strategy(&orig, Strategy::FusionRegroup { levels, regroup: RegroupLevel::Multi });
+        let strategy = Strategy::FusionRegroup { levels, regroup: RegroupLevel::Multi };
+        let mut tracer = Tracer::enabled();
+        let opt = match apply_strategy_checked_traced(
+            &orig,
+            strategy,
+            &SafetyOptions::default(),
+            &mut tracer,
+        ) {
+            Ok(opt) => opt,
+            Err(e) => {
+                eprintln!("SP/{}: skipped: {e}", strategy.label());
+                continue;
+            }
+        };
         println!("\n{}-level fusion:", levels);
         println!("  loops before: {:?}", opt.fusion.loops_before);
         println!("  loops after:  {:?}", opt.fusion.loops_after);
@@ -39,5 +68,19 @@ fn main() {
         for (names, _) in &opt.regroup.groups {
             println!("    group: {}", names.join(", "));
         }
+        for d in opt.robustness.describe() {
+            eprintln!("SP/{}: {d}", strategy.label());
+        }
+        set.reports.push(Report::new(
+            "sp_stats",
+            &orig,
+            strategy.label(),
+            &opt,
+            tracer.into_events(),
+        ));
+    }
+    match set.write(&json_path) {
+        Ok(()) => println!("\nJSON report set ({} runs) written to {json_path}", set.reports.len()),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
     }
 }

@@ -5,13 +5,17 @@
 //! program and reports per-program rows plus averages; its conclusion is
 //! that the global strategy beats the commercial compiler's local
 //! strategies "by factors of 9 for L1 misses, 3.4 for L2 misses, and 1.8
-//! for TLB misses" in average miss reduction.
+//! for TLB misses" in average miss reduction. A machine-readable report
+//! set (schema `gcr-report-set/v1`) is written to `results/table6.json`
+//! (override with `--json <path>`).
 //!
-//! Usage: `table6 [--size-scale F] [--steps K]`
+//! Usage: `table6 [--size-scale F] [--steps K] [--json PATH]`
 
-use gcr_bench::{print_table, try_measure_strategy, Measurement, STEPS};
+use gcr_bench::{print_table, try_measure_strategy_report, Measurement, STEPS};
+use gcr_cli::ReportSet;
 use gcr_core::pipeline::Strategy;
 use gcr_core::regroup::RegroupLevel;
+use std::cell::RefCell;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -20,6 +24,11 @@ fn main() {
     };
     let scale: f64 = get("--size-scale").map(|s| s.parse().unwrap()).unwrap_or(1.0);
     let steps: usize = get("--steps").map(|s| s.parse().unwrap()).unwrap_or(STEPS);
+    let json_path = get("--json").unwrap_or_else(|| "results/table6.json".into());
+    let set = RefCell::new(ReportSet::new(
+        "table6",
+        "Section 6: normalized misses and memory traffic (NoOpt / SGI-like / New)",
+    ));
 
     let new_strategy = Strategy::FusionRegroup { levels: 3, regroup: RegroupLevel::Multi };
     let mut rows = Vec::new();
@@ -30,11 +39,12 @@ fn main() {
         // Skip any app where a version cannot be optimized/measured, rather
         // than aborting the whole table.
         let measure = |s: Strategy| -> Option<Measurement> {
-            match try_measure_strategy(&app, s, size, steps) {
-                Ok((m, diagnostics)) => {
+            match try_measure_strategy_report("table6", &app, s, size, steps) {
+                Ok((m, report, diagnostics)) => {
                     for d in diagnostics {
                         eprintln!("{}/{}: {d}", app.name, s.label());
                     }
+                    set.borrow_mut().reports.push(report);
                     Some(m)
                 }
                 Err(e) => {
@@ -113,6 +123,11 @@ fn main() {
         ratio(red(sums[1][1]), red(sums[0][1])),
         ratio(red(sums[1][2]), red(sums[0][2])),
     );
+    let set = set.into_inner();
+    match set.write(&json_path) {
+        Ok(()) => println!("\nJSON report set ({} runs) written to {json_path}", set.reports.len()),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
 }
 
 fn ratio(a: f64, b: f64) -> f64 {

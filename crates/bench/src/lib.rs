@@ -6,9 +6,12 @@
 //! shared measurement machinery.
 
 use gcr_apps::AppSpec;
-use gcr_cache::{CostModel, HierarchySink, MemoryHierarchy, MissCounts};
-use gcr_core::checked::{apply_strategy_checked, SafetyOptions};
+use gcr_cache::{CostModel, HierarchySink, MemoryHierarchy, MissCounts, PhasedHierarchySink};
+use gcr_cli::report::SimSection;
+use gcr_cli::Report;
+use gcr_core::checked::{apply_strategy_checked, apply_strategy_checked_traced, SafetyOptions};
 use gcr_core::pipeline::{apply_strategy, Strategy};
+use gcr_core::Tracer;
 use gcr_exec::{ExecStats, Machine, TraceSink};
 use gcr_ir::{GcrError, ParamBinding};
 use gcr_reuse::distance::Histogram;
@@ -122,6 +125,53 @@ pub fn try_measure_strategy(
 /// Fuel for guarded measurement runs — generous for the evaluation sizes,
 /// finite for runaway programs.
 pub const MEASURE_FUEL: u64 = 2_000_000_000;
+
+/// Observable variant of [`try_measure_strategy`]: same fail-safe
+/// optimization and guarded measurement, but with per-pass tracing enabled
+/// and per-phase miss attribution, packaged as a [`Report`] (schema
+/// `gcr-report/v1`) so the experiment binaries can write self-describing
+/// JSON artifacts into `results/` alongside their tables.
+pub fn try_measure_strategy_report(
+    generator: &str,
+    app: &AppSpec,
+    strategy: Strategy,
+    size: i64,
+    steps: usize,
+) -> Result<(Measurement, Report, Vec<String>), GcrError> {
+    let (prog, bind) = (app.build)(size);
+    let mut tracer = Tracer::enabled();
+    let opt =
+        apply_strategy_checked_traced(&prog, strategy, &SafetyOptions::default(), &mut tracer)?;
+    let layout = opt.layout(&bind);
+    let mut machine = Machine::try_with_layout(
+        &opt.program,
+        bind,
+        layout,
+        Some(gcr_core::checked::DEFAULT_MAX_BYTES),
+    )?;
+    let mut sink = PhasedHierarchySink::new(
+        MemoryHierarchy::origin2000_scaled(app.l1_scale, app.l2_scale),
+        &opt.program,
+    );
+    machine.run_steps_guarded(&mut sink, steps, MEASURE_FUEL)?;
+    let misses = sink.hierarchy.counts();
+    let stats = machine.stats();
+    let cycles = CostModel::default().cycles(&stats, &misses);
+    let mut label = strategy.label();
+    if opt.robustness.degraded() {
+        label = format!("{} (degraded: {})", opt.robustness.strategy, label);
+    }
+    let mut report = Report::new(generator, &prog, strategy.label(), &opt, tracer.into_events());
+    report.simulation = Some(SimSection {
+        size,
+        steps,
+        cycles,
+        flops: stats.flops,
+        total: misses,
+        phases: sink.phases(),
+    });
+    Ok((Measurement { label, stats, misses, cycles }, report, opt.robustness.describe()))
+}
 
 /// The strategy set of Figure 10 for a given app (SP gets the extra
 /// one-level-fusion bar).

@@ -12,11 +12,29 @@
 //! (513², 2K², class B) to keep simulated traces tractable, and scale the
 //! simulated caches with them so that the problem-size : cache-size
 //! geometry is preserved; [`CacheConfig::scaled`] produces those configs.
+//!
+//! A [`Cache`] simulates one set-associative LRU level; misses and
+//! write-backs drive the memory-traffic accounting:
+//!
+//! ```
+//! use gcr_cache::{Cache, CacheConfig};
+//!
+//! // 2 sets x 2 ways of 32-byte lines = 128 bytes.
+//! let mut c = Cache::new(CacheConfig { size: 128, line: 32, assoc: 2 });
+//! assert!(!c.access(0));       // cold miss
+//! assert!(c.access(8));        // same line: hit
+//! assert!(!c.access(64));      // different set: miss
+//! assert_eq!((c.hits, c.misses), (1, 2));
+//! ```
+//!
+//! [`MemoryHierarchy`] stacks L1/L2/TLB, [`HierarchySink`] feeds it from
+//! the interpreter's address trace, and [`PhasedHierarchySink`] splits the
+//! same totals per computation phase for the JSON reports.
 
 pub mod cost;
 pub mod hierarchy;
 pub mod sim;
 
 pub use cost::CostModel;
-pub use hierarchy::{HierarchySink, MemoryHierarchy, MissCounts};
+pub use hierarchy::{HierarchySink, MemoryHierarchy, MissCounts, PhasedHierarchySink};
 pub use sim::{Cache, CacheConfig, Tlb};

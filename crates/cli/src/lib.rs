@@ -5,22 +5,30 @@
 //! ```text
 //! gcrc program.loop                         # optimize and print the program
 //! gcrc program.loop --strategy fuse         # fusion only
-//! gcrc program.loop --report                # transformation statistics
+//! gcrc program.loop --summary               # transformation statistics
+//! gcrc program.loop --trace                 # per-pass trace (time, IR deltas)
 //! gcrc program.loop --simulate 257 --steps 3  # run through the cache simulator
-//! gcrc program.loop --reuse-hist 128        # reuse-distance histogram
+//! gcrc program.loop --profile               # reuse-distance profile
+//! gcrc program.loop --report out.json       # machine-readable JSON report
 //! gcrc program.loop --stats                 # static program statistics
 //! ```
 //!
 //! The driver is a thin, testable layer over the library crates: parse →
 //! preliminary transformations → reuse-based loop fusion → multi-level data
 //! regrouping → (optionally) execute on the simulated memory hierarchy.
+//! The [`report`] module defines the JSON artifact schema shared with the
+//! experiment binaries (see EXPERIMENTS.md).
 
-use gcr_cache::{CostModel, HierarchySink, MemoryHierarchy};
-use gcr_core::checked::{apply_strategy_checked, SafetyOptions};
+pub mod report;
+
+use gcr_cache::{CostModel, MemoryHierarchy, PhasedHierarchySink};
+use gcr_core::checked::{apply_strategy_checked_traced, SafetyOptions};
 use gcr_core::pipeline::Strategy;
 use gcr_core::regroup::RegroupLevel;
+use gcr_core::Tracer;
 use gcr_exec::Machine;
 use gcr_ir::{GcrError, ParamBinding};
+pub use report::{Report, ReportSet};
 use std::fmt::Write as _;
 
 /// Parsed command line.
@@ -33,7 +41,14 @@ pub struct Options {
     /// Print the transformed program text.
     pub emit: bool,
     /// Print transformation statistics.
-    pub report: bool,
+    pub summary: bool,
+    /// Print the per-pass trace (wall time, IR size deltas, outcomes).
+    pub trace: bool,
+    /// Measure a reuse-distance profile of the transformed program
+    /// (per-array and per-phase histograms).
+    pub profile: bool,
+    /// Write a machine-readable JSON report here (`-` appends to stdout).
+    pub report_path: Option<String>,
     /// Print static program statistics (Figure 9 style).
     pub stats: bool,
     /// Print per-loop data footprints of the *input* program.
@@ -67,7 +82,10 @@ impl Default for Options {
             input: String::new(),
             strategy: Strategy::FusionRegroup { levels: 3, regroup: RegroupLevel::Multi },
             emit: true,
-            report: false,
+            summary: false,
+            trace: false,
+            profile: false,
+            report_path: None,
             stats: false,
             footprints: false,
             check: false,
@@ -91,7 +109,13 @@ usage: gcrc <file.loop> [options]
 options:
   --strategy <s>     original | sgi | fuse | fuse1 | fuse+group (default) | group
   --no-emit          do not print the transformed program
-  --report           print transformation statistics
+  --summary          print transformation statistics
+  --trace            print the per-pass trace (wall time, IR size deltas)
+  --profile          measure a reuse-distance profile of the transformed
+                     program (per-array and per-phase histograms); uses the
+                     --simulate size, or N=64
+  --report <path>    write a machine-readable JSON report (schema
+                     gcr-report/v1; `-` appends it to stdout)
   --stats            print static program statistics
   --footprints       print per-loop data footprints of the input program
   --check            statically check array bounds (input and output)
@@ -136,7 +160,10 @@ pub fn parse_args(args: &[String]) -> Result<Options, GcrError> {
                 };
             }
             "--no-emit" => o.emit = false,
-            "--report" => o.report = true,
+            "--summary" => o.summary = true,
+            "--trace" => o.trace = true,
+            "--profile" => o.profile = true,
+            "--report" => o.report_path = Some(value(&mut it, "--report")?),
             "--stats" => o.stats = true,
             "--footprints" => o.footprints = true,
             "--check" => o.check = true,
@@ -250,8 +277,20 @@ pub fn run_source_with_diagnostics(
     if o.dot {
         let _ = write!(out, "{}", gcr_analysis::graph::render_dot(&prog));
     }
-    let opt = apply_strategy_checked(&prog, o.strategy, &safety_of(o))?;
+    let mut tracer =
+        if o.trace || o.report_path.is_some() { Tracer::enabled() } else { Tracer::disabled() };
+    let opt = apply_strategy_checked_traced(&prog, o.strategy, &safety_of(o), &mut tracer)?;
     let diagnostics = opt.robustness.describe();
+    if o.trace {
+        let _ = writeln!(out, "pass trace ({} checkpoints):", opt.robustness.checks);
+        for ev in tracer.events() {
+            let _ = writeln!(out, "  {}", ev.describe());
+        }
+    }
+    let mut rep = o
+        .report_path
+        .is_some()
+        .then(|| Report::new("gcrc", &prog, o.strategy.label(), &opt, tracer.into_events()));
     if o.check {
         for (which, p) in [("input", &prog), ("output", &opt.program)] {
             let issues = gcr_analysis::bounds::check_bounds(p);
@@ -267,7 +306,7 @@ pub fn run_source_with_diagnostics(
     if o.emit {
         let _ = write!(out, "{}", gcr_ir::print::print_program(&opt.program));
     }
-    if o.report {
+    if o.summary {
         let f = &opt.fusion;
         let _ = writeln!(
             out,
@@ -302,10 +341,10 @@ pub fn run_source_with_diagnostics(
         let bind = binding_for(&prog, n);
         let layout = opt.layout(&bind);
         let mut m = Machine::with_layout(&opt.program, bind, layout);
-        let mut sink = HierarchySink::new(MemoryHierarchy::origin2000_scaled(
-            o.cache_scale.0,
-            o.cache_scale.1,
-        ));
+        let mut sink = PhasedHierarchySink::new(
+            MemoryHierarchy::origin2000_scaled(o.cache_scale.0, o.cache_scale.1),
+            &opt.program,
+        );
         m.run_steps_guarded(&mut sink, o.steps, fuel)?;
         let c = sink.hierarchy.counts();
         let cycles = CostModel::default().cycles(&m.stats(), &c);
@@ -322,6 +361,29 @@ pub fn run_source_with_diagnostics(
             c.memory_traffic / 1024,
             cycles
         );
+        if let Some(r) = rep.as_mut() {
+            r.simulation = Some(report::SimSection {
+                size: n,
+                steps: o.steps,
+                cycles,
+                flops: m.stats().flops,
+                total: c,
+                phases: sink.phases(),
+            });
+        }
+    }
+    if o.profile {
+        let n = o.simulate.unwrap_or(64);
+        let bind = binding_for(&prog, n);
+        let layout = opt.layout(&bind);
+        let mut m = Machine::with_layout(&opt.program, bind, layout);
+        let mut sink = gcr_reuse::ProfileSink::elements(&opt.program);
+        m.run_steps_guarded(&mut sink, o.steps, fuel)?;
+        let section = report::ProfileSection { size: n, steps: o.steps, profile: sink.finish() };
+        let _ = write!(out, "{}", section.to_text());
+        if let Some(r) = rep.as_mut() {
+            r.profile = Some(section);
+        }
     }
     if let Some(n) = o.reuse_hist {
         let bind = binding_for(&prog, n);
@@ -348,6 +410,16 @@ pub fn run_source_with_diagnostics(
         );
         for (cap, ratio) in gcr_reuse::miss_ratio_curve(&sink.analyzer.hist) {
             let _ = writeln!(out, "  {:>10} {:>7.3}%", cap, 100.0 * ratio);
+        }
+    }
+    if let (Some(r), Some(path)) = (rep, o.report_path.as_ref()) {
+        let json = r.to_json();
+        if path == "-" {
+            out.push_str(&json);
+        } else {
+            std::fs::write(path, &json)
+                .map_err(|e| GcrError::Io { path: path.clone(), why: e.to_string() })?;
+            let _ = writeln!(out, "report written to {path}");
         }
     }
     Ok((out, diagnostics))
@@ -402,7 +474,7 @@ for i = 1, N {
             "x.loop",
             "--strategy",
             "fuse",
-            "--report",
+            "--summary",
             "--simulate",
             "64",
             "--steps",
@@ -413,10 +485,20 @@ for i = 1, N {
         .unwrap();
         assert_eq!(o.input, "x.loop");
         assert_eq!(o.strategy, Strategy::FusionOnly { levels: 3 });
-        assert!(o.report);
+        assert!(o.summary);
         assert_eq!(o.simulate, Some(64));
         assert_eq!(o.steps, 2);
         assert_eq!(o.cache_scale, (4, 16));
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let o =
+            parse_args(&args(&["x.loop", "--trace", "--profile", "--report", "out.json"])).unwrap();
+        assert!(o.trace);
+        assert!(o.profile);
+        assert_eq!(o.report_path.as_deref(), Some("out.json"));
+        assert!(parse_args(&args(&["x.loop", "--report"])).is_err(), "--report needs a path");
     }
 
     #[test]
@@ -430,7 +512,7 @@ for i = 1, N {
 
     #[test]
     fn emits_fused_program() {
-        let mut o = parse_args(&args(&["-", "--strategy", "fuse", "--report"])).unwrap();
+        let mut o = parse_args(&args(&["-", "--strategy", "fuse", "--summary"])).unwrap();
         o.input = "mem".into();
         let out = run_source(SRC, &o).unwrap();
         assert!(out.contains("for i = 1, N {"), "{out}");
@@ -544,10 +626,52 @@ for i = 1, N {
 
     #[test]
     fn clean_runs_emit_no_diagnostics() {
-        let mut o = parse_args(&args(&["-", "--no-emit", "--report"])).unwrap();
+        let mut o = parse_args(&args(&["-", "--no-emit", "--summary"])).unwrap();
         o.input = "mem".into();
         let (out, diags) = run_source_with_diagnostics(SRC, &o).unwrap();
         assert!(diags.is_empty(), "{diags:?}");
         assert!(out.contains("fusion:"), "{out}");
+    }
+
+    #[test]
+    fn trace_prints_pass_lines() {
+        let mut o = parse_args(&args(&["-", "--no-emit", "--trace"])).unwrap();
+        o.input = "mem".into();
+        let out = run_source(SRC, &o).unwrap();
+        assert!(out.contains("pass trace"), "{out}");
+        assert!(out.contains("fusion@1"), "{out}");
+        assert!(out.contains("regroup"), "{out}");
+    }
+
+    #[test]
+    fn profile_prints_histograms() {
+        let mut o = parse_args(&args(&["-", "--no-emit", "--profile"])).unwrap();
+        o.input = "mem".into();
+        let out = run_source(SRC, &o).unwrap();
+        assert!(out.contains("reuse profile at N=64"), "{out}");
+        assert!(out.contains("array A"), "{out}");
+        assert!(out.contains("(all accesses)"), "{out}");
+    }
+
+    #[test]
+    fn report_to_stdout_is_valid_schema() {
+        let mut o = parse_args(&args(&[
+            "-",
+            "--no-emit",
+            "--profile",
+            "--simulate",
+            "64",
+            "--report",
+            "-",
+        ]))
+        .unwrap();
+        o.input = "mem".into();
+        let out = run_source(SRC, &o).unwrap();
+        assert!(out.contains("\"schema\": \"gcr-report/v1\""), "{out}");
+        assert!(out.contains("\"pass\": \"fusion@1\""), "{out}");
+        assert!(out.contains("\"per_array\""), "{out}");
+        assert!(out.contains("\"per_phase\""), "{out}");
+        assert!(out.contains("\"simulation\""), "{out}");
+        assert!(out.contains("\"cycles\""), "{out}");
     }
 }

@@ -1,0 +1,100 @@
+//! Golden-file test for the `gcr-report/v1` JSON schema: a fixed program
+//! is optimized, profiled and simulated deterministically, wall-clock
+//! fields are normalized to zero, and the serialized report is compared
+//! byte-for-byte against `tests/golden/report.json`.
+//!
+//! On intentional schema changes, regenerate the golden file with
+//! `GCR_BLESS=1 cargo test -p gcr-cli --test report_schema` and review the
+//! diff (EXPERIMENTS.md documents the schema and must be updated too).
+
+use gcr_cache::{MemoryHierarchy, PhasedHierarchySink};
+use gcr_cli::report::{ProfileSection, SimSection};
+use gcr_cli::Report;
+use gcr_core::checked::SafetyOptions;
+use gcr_core::pipeline::Strategy;
+use gcr_core::Tracer;
+use gcr_exec::Machine;
+use gcr_ir::ParamBinding;
+
+const SRC: &str = "
+program golden
+param N
+array A[N], B[N]
+
+for i = 1, N {
+  A[i] = f(A[i])
+}
+for i = 1, N {
+  B[i] = g(A[i], B[i])
+}
+";
+
+const SIZE: i64 = 32;
+
+fn build_report() -> Report {
+    let prog = gcr_frontend::parse(SRC).unwrap();
+    let strategy = Strategy::FusionOnly { levels: 3 };
+    let mut tracer = Tracer::enabled();
+    let opt = gcr_core::apply_strategy_checked_traced(
+        &prog,
+        strategy,
+        &SafetyOptions::default(),
+        &mut tracer,
+    )
+    .unwrap();
+    let mut report =
+        Report::new("golden-test", &prog, strategy.label(), &opt, tracer.into_events());
+
+    let bind = ParamBinding::new(vec![SIZE]);
+    let layout = opt.layout(&bind);
+    let mut m = Machine::with_layout(&opt.program, bind.clone(), layout.clone());
+    let mut sink = gcr_reuse::ProfileSink::elements(&opt.program);
+    m.run(&mut sink);
+    report.profile = Some(ProfileSection { size: SIZE, steps: 1, profile: sink.finish() });
+
+    let mut m = Machine::with_layout(&opt.program, bind, layout);
+    let mut sink =
+        PhasedHierarchySink::new(MemoryHierarchy::origin2000_scaled(16, 64), &opt.program);
+    m.run(&mut sink);
+    let total = sink.hierarchy.counts();
+    report.simulation = Some(SimSection {
+        size: SIZE,
+        steps: 1,
+        cycles: gcr_cache::CostModel::default().cycles(&m.stats(), &total),
+        flops: m.stats().flops,
+        total,
+        phases: sink.phases(),
+    });
+    report
+}
+
+#[test]
+fn report_json_matches_golden() {
+    let json = build_report().normalized().to_json();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/report.json");
+    if std::env::var_os("GCR_BLESS").is_some() {
+        std::fs::write(path, &json).unwrap();
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file missing — run once with GCR_BLESS=1 to create it");
+    assert_eq!(
+        json, golden,
+        "JSON report schema drifted from tests/golden/report.json; if the \
+         change is intentional, bless with GCR_BLESS=1 and update EXPERIMENTS.md"
+    );
+}
+
+#[test]
+fn normalization_only_touches_wall_clock() {
+    let a = build_report();
+    let b = a.clone().normalized();
+    assert!(b.trace.iter().all(|e| e.wall_ns == 0));
+    let strip = |r: &Report| {
+        let mut r = r.clone();
+        for e in &mut r.trace {
+            e.wall_ns = 0;
+        }
+        r
+    };
+    assert_eq!(strip(&a), b, "normalized() must not change any other field");
+}

@@ -27,11 +27,13 @@ use crate::fusion::{fuse_one_level, loops_per_level, FusionReport};
 use crate::pipeline::{OptimizeOptions, OptimizedProgram, Strategy};
 use crate::prelim::{preliminary, PrelimReport};
 use crate::regroup::{self, RegroupLevel, RegroupPlan, RegroupReport};
+use crate::trace::{IrSize, PassEvent, Tracer};
 use gcr_exec::{DataLayout, Machine, NullSink};
 use gcr_ir::{BinOp, Expr, GcrError, GuardedStmt, ParamBinding, Program, Resource, Stmt};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Oracle fuel when [`SafetyOptions::fuel`] is unset: enough for every
+/// Oracle fuel when the `fuel` option of [`SafetyOptions`] is unset:
+/// enough for every
 /// bundled kernel at the oracle size, small enough to stop degenerate
 /// trip counts quickly.
 pub const DEFAULT_FUEL: u64 = 10_000_000;
@@ -380,16 +382,21 @@ fn corrupt(prog: &mut Program) {
 
 /// Runs one pass under full protection: panics become [`GcrError::Exec`],
 /// the optional fault hook fires, the checkpoint runs, and on any failure
-/// the program is restored to its pre-pass state.
+/// the program is restored to its pre-pass state. When the tracer is
+/// enabled, the pass (plus its checkpoint) is timed and its IR size delta
+/// recorded; a disabled tracer skips all measurement.
 fn attempt<T>(
     program: &mut Program,
     checker: &mut Checker,
+    tracer: &mut Tracer,
     pass: Pass,
     mk_layout: &dyn Fn(&Program, &ParamBinding) -> DataLayout,
     f: impl FnOnce(&mut Program) -> Result<T, GcrError>,
 ) -> Result<T, GcrError> {
     let snapshot = program.clone();
     let stage = pass.to_string();
+    let before = tracer.is_enabled().then(|| IrSize::of(program));
+    let t0 = tracer.is_enabled().then(std::time::Instant::now);
     let out = catch_unwind(AssertUnwindSafe(|| f(program)));
     let res = match out {
         Ok(Ok(v)) => {
@@ -404,6 +411,17 @@ fn attempt<T>(
     if res.is_err() {
         *program = snapshot;
     }
+    tracer.record(|| PassEvent {
+        pass: stage.clone(),
+        ok: res.is_ok(),
+        wall_ns: t0.map_or(0, |t| t.elapsed().as_nanos() as u64),
+        before: before.unwrap_or_default(),
+        after: IrSize::of(program),
+        detail: match &res {
+            Ok(_) => String::new(),
+            Err(e) => e.to_string(),
+        },
+    });
     res
 }
 
@@ -460,10 +478,38 @@ fn merge_fusion(total: &mut FusionReport, level: usize, rep: FusionReport) {
 /// reference), and — under [`SafetyOptions::strict`] — the first pass
 /// failure. Everything else degrades per the ladder and is recorded in the
 /// returned program's [`RobustnessReport`].
+///
+/// ```
+/// use gcr_core::{optimize_checked, OptimizeOptions, SafetyOptions};
+/// let prog = gcr_frontend::parse("
+/// program demo
+/// param N
+/// array A[N], B[N]
+/// for i = 1, N { A[i] = f(A[i]) }
+/// for i = 1, N { B[i] = g(A[i], B[i]) }
+/// ").unwrap();
+/// let opt = optimize_checked(&prog, &OptimizeOptions::default(),
+///                            &SafetyOptions::default()).unwrap();
+/// assert!(!opt.robustness.degraded());
+/// assert_eq!(opt.program.count_nests(), 1); // the two loops fused
+/// ```
 pub fn optimize_checked(
     prog: &Program,
     opts: &OptimizeOptions,
     safety: &SafetyOptions,
+) -> Result<OptimizedProgram, GcrError> {
+    optimize_checked_traced(prog, opts, safety, &mut Tracer::disabled())
+}
+
+/// [`optimize_checked`] with per-pass tracing: every pass attempt is
+/// recorded as a [`PassEvent`] on `tracer` (see [`crate::trace`]). Passing
+/// [`Tracer::disabled`] makes this identical to [`optimize_checked`] — no
+/// timestamps are taken and no IR nodes are counted.
+pub fn optimize_checked_traced(
+    prog: &Program,
+    opts: &OptimizeOptions,
+    safety: &SafetyOptions,
+    tracer: &mut Tracer,
 ) -> Result<OptimizedProgram, GcrError> {
     gcr_ir::validate::validate(prog)
         .map_err(|errors| GcrError::Validate { stage: "input".into(), errors })?;
@@ -509,7 +555,7 @@ pub fn optimize_checked(
 
     if opts.orient && !stopped {
         if let Err(cause) =
-            attempt(&mut program, &mut checker, Pass::Orient, &default_layout, |p| {
+            attempt(&mut program, &mut checker, tracer, Pass::Orient, &default_layout, |p| {
                 crate::interchange::orient_nests(p);
                 Ok(())
             })
@@ -519,10 +565,18 @@ pub fn optimize_checked(
     }
 
     if opts.prelim && !stopped {
-        match attempt(&mut program, &mut checker, Pass::Prelim, &default_layout, |p| {
+        match attempt(&mut program, &mut checker, tracer, Pass::Prelim, &default_layout, |p| {
             Ok(preliminary(p, opts.small_dim_limit))
         }) {
-            Ok(rep) => prelim_rep = rep,
+            Ok(rep) => {
+                tracer.annotate_last(|| {
+                    format!(
+                        "unrolled {}, split {}, distributed {}",
+                        rep.unrolled, rep.split_arrays, rep.distributed
+                    )
+                });
+                prelim_rep = rep;
+            }
             Err(cause) => skip_or_stop(Pass::Prelim, cause, &mut report, &mut stopped)?,
         }
     }
@@ -531,8 +585,13 @@ pub fn optimize_checked(
         fusion_rep.loops_before = loops_per_level(&program);
         let mut level = 1;
         while level <= want_levels && !stopped {
-            let res =
-                attempt(&mut program, &mut checker, Pass::Fusion { level }, &default_layout, |p| {
+            let res = attempt(
+                &mut program,
+                &mut checker,
+                tracer,
+                Pass::Fusion { level },
+                &default_layout,
+                |p| {
                     let rep = fuse_one_level(p, &opts.fusion_opts, level);
                     if rep.budget_exhausted {
                         return Err(GcrError::BudgetExceeded {
@@ -541,9 +600,18 @@ pub fn optimize_checked(
                         });
                     }
                     Ok(rep)
-                });
+                },
+            );
             match res {
                 Ok(rep) => {
+                    tracer.annotate_last(|| {
+                        format!(
+                            "fused {}, embedded {}, peeled {}",
+                            rep.fused.iter().sum::<usize>(),
+                            rep.embedded,
+                            rep.peeled
+                        )
+                    });
                     merge_fusion(&mut fusion_rep, level, rep);
                     level += 1;
                 }
@@ -575,6 +643,7 @@ pub fn optimize_checked(
                             match attempt(
                                 &mut program,
                                 &mut checker,
+                                tracer,
                                 Pass::Baseline,
                                 &default_layout,
                                 |p| Ok(baseline_fuse(p)),
@@ -621,6 +690,7 @@ pub fn optimize_checked(
         let res = attempt(
             &mut program,
             &mut checker,
+            tracer,
             Pass::Regroup,
             &{
                 // The checkpoint must execute under the *regrouped* layout:
@@ -635,6 +705,13 @@ pub fn optimize_checked(
         );
         match res {
             Ok(p) => {
+                tracer.annotate_last(|| {
+                    format!(
+                        "{} arrays -> {} allocations",
+                        program.arrays.iter().filter(|a| !a.is_scalar()).count(),
+                        p.groups.iter().filter(|g| g.rank > 0).count()
+                    )
+                });
                 regroup_rep = RegroupReport {
                     arrays: program.arrays.iter().filter(|a| !a.is_scalar()).count(),
                     allocations: p.groups.iter().filter(|g| g.rank > 0).count(),
@@ -685,6 +762,16 @@ pub fn apply_strategy_checked(
     strategy: Strategy,
     safety: &SafetyOptions,
 ) -> Result<OptimizedProgram, GcrError> {
+    apply_strategy_checked_traced(prog, strategy, safety, &mut Tracer::disabled())
+}
+
+/// [`apply_strategy_checked`] with per-pass tracing (see [`crate::trace`]).
+pub fn apply_strategy_checked_traced(
+    prog: &Program,
+    strategy: Strategy,
+    safety: &SafetyOptions,
+    tracer: &mut Tracer,
+) -> Result<OptimizedProgram, GcrError> {
     if strategy == Strategy::Sgi {
         gcr_ir::validate::validate(prog)
             .map_err(|errors| GcrError::Validate { stage: "input".into(), errors })?;
@@ -701,7 +788,7 @@ pub fn apply_strategy_checked(
         let mut program = prog.clone();
         let mut baseline_rep = BaselineReport::default();
         let mut pad = BASELINE_PAD_BYTES;
-        match attempt(&mut program, &mut checker, Pass::Baseline, &default_layout, |p| {
+        match attempt(&mut program, &mut checker, tracer, Pass::Baseline, &default_layout, |p| {
             Ok(baseline_fuse(p))
         }) {
             Ok(rep) => {
@@ -734,5 +821,5 @@ pub fn apply_strategy_checked(
             robustness: report,
         });
     }
-    optimize_checked(prog, &strategy.options(), safety)
+    optimize_checked_traced(prog, &strategy.options(), safety, tracer)
 }

@@ -21,6 +21,36 @@
 //! automates the paper's hand "level ordering" (loop interchange);
 //! [`baseline`] the conservative fusion + padding stand-in for the SGI
 //! MIPSpro compiler; [`pipeline`] the end-to-end driver.
+//!
+//! The fail-safe entry point is [`optimize_checked`] (and its
+//! [`Tracer`]-carrying variant [`optimize_checked_traced`], which records a
+//! [`PassEvent`] per attempted pass):
+//!
+//! ```
+//! use gcr_core::checked::{optimize_checked_traced, SafetyOptions};
+//! use gcr_core::{OptimizeOptions, Tracer};
+//!
+//! let prog = gcr_frontend::parse("
+//! program demo
+//! param N
+//! array A[N], B[N]
+//! for i = 1, N {
+//!   A[i] = f(A[i])
+//! }
+//! for i = 1, N {
+//!   B[i] = g(A[i], B[i])
+//! }
+//! ").unwrap();
+//! let mut tracer = Tracer::enabled();
+//! let opt = optimize_checked_traced(&prog, &OptimizeOptions::default(),
+//!                                   &SafetyOptions::default(), &mut tracer)
+//!     .unwrap();
+//! assert!(!opt.robustness.degraded());
+//! assert_eq!(opt.program.count_nests(), 1); // the two loops fused
+//! let events = tracer.into_events();
+//! assert_eq!(events[0].pass, "prelim");
+//! assert!(events.iter().any(|e| e.pass == "fusion@1" && e.ok));
+//! ```
 
 pub mod baseline;
 pub mod checked;
@@ -29,10 +59,13 @@ pub mod interchange;
 pub mod pipeline;
 pub mod prelim;
 pub mod regroup;
+pub mod trace;
 
 pub use checked::{
-    apply_strategy_checked, optimize_checked, Fallback, Pass, RobustnessReport, SafetyOptions,
+    apply_strategy_checked, apply_strategy_checked_traced, optimize_checked,
+    optimize_checked_traced, Fallback, Pass, RobustnessReport, SafetyOptions,
 };
 pub use fusion::{fuse_program, FusionOptions, FusionReport};
 pub use pipeline::{optimize, OptimizeOptions, OptimizedProgram};
 pub use regroup::{regroup, RegroupOptions, RegroupReport};
+pub use trace::{IrSize, PassEvent, Tracer};

@@ -1,0 +1,102 @@
+//! Zero-cost-when-disabled guarantees of the pass tracer: a disabled
+//! tracer records nothing, perturbs nothing, and costs no interpreter
+//! fuel — the fuel counter is the one deterministic "clock" the pipeline
+//! has, so identical minimal-fuel boundaries are a measurable-zero
+//! overhead check.
+
+use gcr_core::checked::SafetyOptions;
+use gcr_core::pipeline::OptimizeOptions;
+use gcr_core::{optimize_checked, optimize_checked_traced, Tracer};
+use gcr_ir::GcrError;
+
+const SRC: &str = "
+program demo
+param N
+array A[N], B[N]
+
+for i = 1, N {
+  A[i] = f(A[i])
+}
+for i = 1, N {
+  B[i] = g(A[i], B[i])
+}
+";
+
+#[test]
+fn disabled_tracer_records_nothing_and_changes_nothing() {
+    let prog = gcr_frontend::parse(SRC).unwrap();
+    let opts = OptimizeOptions::default();
+    let safety = SafetyOptions::default();
+    let base = optimize_checked(&prog, &opts, &safety).unwrap();
+    let mut tracer = Tracer::disabled();
+    let traced = optimize_checked_traced(&prog, &opts, &safety, &mut tracer).unwrap();
+    assert!(!tracer.is_enabled());
+    assert!(tracer.events().is_empty(), "disabled tracer must record zero events");
+    assert_eq!(
+        gcr_ir::print::print_program(&traced.program),
+        gcr_ir::print::print_program(&base.program),
+        "tracing must not perturb the delivered program"
+    );
+    assert_eq!(traced.robustness.checks, base.robustness.checks);
+    assert_eq!(traced.robustness.strategy, base.robustness.strategy);
+    assert!(traced.robustness.fallbacks.is_empty());
+}
+
+#[test]
+fn enabled_tracer_sees_every_pass() {
+    let prog = gcr_frontend::parse(SRC).unwrap();
+    let mut tracer = Tracer::enabled();
+    let opt = optimize_checked_traced(
+        &prog,
+        &OptimizeOptions::default(),
+        &SafetyOptions::default(),
+        &mut tracer,
+    )
+    .unwrap();
+    let passes: Vec<&str> = tracer.events().iter().map(|e| e.pass.as_str()).collect();
+    assert_eq!(passes.first(), Some(&"prelim"), "{passes:?}");
+    assert_eq!(passes.get(1), Some(&"fusion@1"), "{passes:?}");
+    assert_eq!(passes.last(), Some(&"regroup"), "{passes:?}");
+    assert!(tracer.events().iter().all(|e| e.ok));
+    // Fusion is visible in the IR deltas the events carry.
+    let fused = &tracer.events()[1];
+    assert!(fused.after.loops < fused.before.loops, "{fused:?}");
+    assert!(!opt.robustness.degraded());
+}
+
+/// Smallest fuel budget at which the checked pipeline succeeds, found by
+/// bisection; `Err` outcomes must be fuel exhaustion to count as "below".
+fn min_fuel(prog: &gcr_ir::Program, enabled: bool) -> u64 {
+    let attempt = |fuel: u64| -> bool {
+        let safety = SafetyOptions { fuel: Some(fuel), strict: true, ..Default::default() };
+        let mut tracer = if enabled { Tracer::enabled() } else { Tracer::disabled() };
+        match optimize_checked_traced(prog, &OptimizeOptions::default(), &safety, &mut tracer) {
+            Ok(_) => true,
+            Err(GcrError::BudgetExceeded { .. }) => false,
+            Err(e) => panic!("unexpected error at fuel {fuel}: {e}"),
+        }
+    };
+    let (mut lo, mut hi) = (0u64, 1u64 << 24);
+    assert!(attempt(hi), "pipeline should succeed with generous fuel");
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if attempt(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[test]
+fn tracing_costs_zero_interpreter_fuel() {
+    let prog = gcr_frontend::parse(SRC).unwrap();
+    let disabled = min_fuel(&prog, false);
+    let enabled = min_fuel(&prog, true);
+    assert!(disabled > 0, "oracle checks must consume fuel");
+    assert_eq!(
+        disabled, enabled,
+        "an enabled tracer must not move the minimal-fuel success boundary"
+    );
+}

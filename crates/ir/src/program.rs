@@ -229,6 +229,49 @@ impl Program {
         });
         n
     }
+
+    /// Maps every statement id to the index of the *top-level* statement
+    /// (computation phase) that contains it. The returned vector is indexed
+    /// by [`StmtId::index`] and covers every id the program has handed out;
+    /// ids of statements that were removed by a transformation map to
+    /// phase 0.
+    ///
+    /// Profiling sinks use this to attribute memory accesses to phases —
+    /// the granularity at which the paper's regrouping step partitions a
+    /// program ("computation phases").
+    pub fn phase_of_stmts(&self) -> Vec<usize> {
+        fn mark(stmts: &[GuardedStmt], phase: usize, of: &mut [usize]) {
+            for gs in stmts {
+                match &gs.stmt {
+                    crate::stmt::Stmt::Assign(a) => {
+                        if let Some(slot) = of.get_mut(a.id.index()) {
+                            *slot = phase;
+                        }
+                    }
+                    crate::stmt::Stmt::Loop(l) => mark(&l.body, phase, of),
+                }
+            }
+        }
+        let mut of = vec![0usize; self.next_stmt as usize];
+        for (k, gs) in self.body.iter().enumerate() {
+            mark(std::slice::from_ref(gs), k, &mut of);
+        }
+        of
+    }
+
+    /// Human-readable label per top-level phase, aligned with
+    /// [`Program::phase_of_stmts`]: `"k: for v"` for a loop nest over
+    /// variable `v`, `"k: stmt"` for a standalone statement.
+    pub fn phase_labels(&self) -> Vec<String> {
+        self.body
+            .iter()
+            .enumerate()
+            .map(|(k, gs)| match &gs.stmt {
+                crate::stmt::Stmt::Loop(l) => format!("{k}: for {}", self.var(l.var).name),
+                crate::stmt::Stmt::Assign(_) => format!("{k}: stmt"),
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -14,12 +14,27 @@
 //! * [`evadable`] — classification of *evadable reuses*: reuses whose
 //!   distance grows with the input size (the paper's main §2.2 metric);
 //! * [`predict`] — miss-ratio curves from reuse-distance histograms (the
-//!   §2.1 perfect-cache equivalence, made executable).
+//!   §2.1 perfect-cache equivalence, made executable);
+//! * [`profile`] — per-array and per-phase histogram profiling, the
+//!   observability layer behind `gcrc --profile` and the JSON reports.
+//!
+//! The core primitive is [`ReuseDistanceAnalyzer`] — feed it an address
+//! stream, get back per-access distances and a log₂ [`Histogram`]:
+//!
+//! ```
+//! let mut a = gcr_reuse::ReuseDistanceAnalyzer::new(8); // element granularity
+//! assert_eq!(a.access(0), None);     // cold
+//! assert_eq!(a.access(8), None);     // cold
+//! assert_eq!(a.access(0), Some(1));  // one distinct datum in between
+//! assert_eq!(a.distinct(), 2);
+//! assert_eq!(a.hist.cold, 2);
+//! ```
 
 pub mod distance;
 pub mod driven;
 pub mod evadable;
 pub mod predict;
+pub mod profile;
 pub mod sampled;
 pub mod trace;
 
@@ -27,5 +42,6 @@ pub use distance::{DistanceSink, Histogram, ReuseDistanceAnalyzer};
 pub use driven::reuse_driven_order;
 pub use evadable::{evadable_fraction, EvadableReport, RefStats};
 pub use predict::{miss_ratio_curve, predicted_miss_ratio, predicted_misses};
+pub use profile::{ProfileSink, ReuseProfile};
 pub use sampled::SampledAnalyzer;
 pub use trace::{InstrTrace, TraceCapture};

@@ -1,0 +1,193 @@
+//! Reuse-distance *profiling*: full histograms per array and per phase.
+//!
+//! The global histogram of [`crate::distance::DistanceSink`] answers "what
+//! is the program's locality"; this module answers *where it comes from*.
+//! A [`ProfileSink`] runs one shared reuse-distance stack over the whole
+//! address stream (distances are a property of the interleaved trace, so
+//! per-array stacks would be wrong) and attributes every access's distance
+//! to two secondary histograms:
+//!
+//! * **per array** — which data structure carries the long distances the
+//!   paper's regrouping step attacks (Figure 1's per-datum view);
+//! * **per phase** — which top-level loop nest produces them, where a
+//!   *phase* is a top-level statement of the program
+//!   ([`gcr_ir::Program::phase_of_stmts`]), the same granularity at which
+//!   regrouping partitions the program into computation phases.
+//!
+//! The finished [`ReuseProfile`] is what `gcrc --profile` prints and what
+//! the JSON reports embed (see `gcr_cli::report`).
+//!
+//! ```
+//! use gcr_exec::Machine;
+//! use gcr_ir::ParamBinding;
+//! use gcr_reuse::ProfileSink;
+//! let prog = gcr_frontend::parse("
+//! program demo
+//! param N
+//! array A[N], B[N]
+//! for i = 1, N { A[i] = f(A[i]) }
+//! for i = 1, N { B[i] = g(A[i], B[i]) }
+//! ").unwrap();
+//! let mut sink = ProfileSink::elements(&prog);
+//! Machine::new(&prog, ParamBinding::new(vec![64])).run(&mut sink);
+//! let profile = sink.finish();
+//! assert_eq!(profile.per_array.len(), 2);        // A and B
+//! assert_eq!(profile.per_phase.len(), 2);        // two top-level nests
+//! assert_eq!(profile.per_array[0].0, "A");
+//! // A's second-loop reads reuse the first loop's data at distance ~N.
+//! assert!(profile.per_array[0].1.reuses > 0);
+//! ```
+
+use crate::distance::{Histogram, ReuseDistanceAnalyzer};
+use gcr_exec::{AccessEvent, TraceSink};
+use gcr_ir::Program;
+
+/// A complete reuse-distance profile of one execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReuseProfile {
+    /// Measurement granularity in bytes (8 = elements).
+    pub granularity: u64,
+    /// Histogram over every access.
+    pub global: Histogram,
+    /// Per-array histograms, in declaration order (scalars never appear in
+    /// the trace, so their histograms stay empty).
+    pub per_array: Vec<(String, Histogram)>,
+    /// Per-phase histograms, one per top-level statement.
+    pub per_phase: Vec<(String, Histogram)>,
+}
+
+impl ReuseProfile {
+    /// Distinct data items touched (the executed footprint, in units of
+    /// `granularity`): every cold access is the first touch of one datum.
+    pub fn distinct(&self) -> u64 {
+        self.global.cold
+    }
+}
+
+/// Trace sink measuring a [`ReuseProfile`] online.
+pub struct ProfileSink {
+    analyzer: ReuseDistanceAnalyzer,
+    granularity: u64,
+    array_names: Vec<String>,
+    per_array: Vec<Histogram>,
+    phase_of: Vec<usize>,
+    phase_labels: Vec<String>,
+    per_phase: Vec<Histogram>,
+}
+
+impl ProfileSink {
+    /// A profiler at `granularity` bytes for `prog`'s arrays and phases.
+    pub fn new(prog: &Program, granularity: u64) -> Self {
+        let phase_labels = prog.phase_labels();
+        ProfileSink {
+            analyzer: ReuseDistanceAnalyzer::new(granularity),
+            granularity,
+            array_names: prog.arrays.iter().map(|a| a.name.clone()).collect(),
+            per_array: vec![Histogram::default(); prog.arrays.len()],
+            phase_of: prog.phase_of_stmts(),
+            per_phase: vec![Histogram::default(); phase_labels.len()],
+            phase_labels,
+        }
+    }
+
+    /// Element-granularity (8-byte) profiler, the paper's Figure 1/3 unit.
+    pub fn elements(prog: &Program) -> Self {
+        Self::new(prog, 8)
+    }
+
+    /// Finishes the measurement.
+    pub fn finish(self) -> ReuseProfile {
+        ReuseProfile {
+            granularity: self.granularity,
+            global: self.analyzer.hist,
+            per_array: self.array_names.into_iter().zip(self.per_array).collect(),
+            per_phase: self.phase_labels.into_iter().zip(self.per_phase).collect(),
+        }
+    }
+}
+
+fn attribute(h: Option<&mut Histogram>, d: Option<u64>) {
+    if let Some(h) = h {
+        match d {
+            Some(d) => h.record(d),
+            None => h.cold += 1,
+        }
+    }
+}
+
+impl TraceSink for ProfileSink {
+    fn access(&mut self, ev: &AccessEvent) {
+        let d = self.analyzer.access_ref(ev.addr, ev.ref_id);
+        attribute(self.per_array.get_mut(ev.array.index()), d);
+        let phase = self.phase_of.get(ev.stmt.index()).copied().unwrap_or(0);
+        attribute(self.per_phase.get_mut(phase), d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcr_exec::Machine;
+    use gcr_ir::ParamBinding;
+
+    const SRC: &str = "
+program p
+param N
+array A[N], B[N]
+for i = 1, N {
+  A[i] = f(A[i])
+}
+for i = 1, N {
+  B[i] = g(A[i], B[i])
+}
+";
+
+    fn profile(n: i64) -> ReuseProfile {
+        let prog = gcr_frontend::parse(SRC).unwrap();
+        let mut sink = ProfileSink::elements(&prog);
+        let mut m = Machine::new(&prog, ParamBinding::new(vec![n]));
+        m.run(&mut sink);
+        sink.finish()
+    }
+
+    #[test]
+    fn partitions_sum_to_global() {
+        let p = profile(64);
+        let sum = |hs: &[(String, Histogram)]| {
+            let mut total = Histogram::default();
+            for (_, h) in hs {
+                total.merge(h);
+            }
+            total
+        };
+        let by_array = sum(&p.per_array);
+        let by_phase = sum(&p.per_phase);
+        assert_eq!(by_array.reuses, p.global.reuses);
+        assert_eq!(by_array.cold, p.global.cold);
+        assert_eq!(by_phase.reuses, p.global.reuses);
+        assert_eq!(by_phase.bins, p.global.bins);
+    }
+
+    #[test]
+    fn attributes_cross_loop_reuse_to_consuming_phase() {
+        let p = profile(64);
+        // Phase 0 touches A cold; phase 1 re-reads A at distance >= ~N and
+        // touches B cold.
+        assert_eq!(p.per_phase.len(), 2);
+        let (_, first) = &p.per_phase[0];
+        let (_, second) = &p.per_phase[1];
+        assert_eq!(first.cold, 64);
+        assert_eq!(second.cold, 64);
+        assert!(second.at_least(32) > 0, "{second:?}");
+        // The long-distance reuse belongs to array A.
+        let (name, a) = &p.per_array[0];
+        assert_eq!(name, "A");
+        assert!(a.at_least(32) > 0, "{a:?}");
+    }
+
+    #[test]
+    fn distinct_counts_footprint() {
+        let p = profile(32);
+        assert_eq!(p.distinct(), 64, "two 32-element arrays");
+    }
+}

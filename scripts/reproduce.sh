@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
 # Regenerates every experiment output under results/ (see EXPERIMENTS.md).
+# fig3/fig10/sp_stats/table6 also write results/<bin>.json report sets.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
@@ -8,4 +9,5 @@ for bin in table_apps fig10 sp_stats table6 bound_check fig3 evadable; do
   cargo run --release -q -p gcr-bench --bin "$bin" | tee "results/$bin.txt"
 done
 echo "== fig10 --ablation =="
-cargo run --release -q -p gcr-bench --bin fig10 -- --ablation | tee results/fig10_ablation.txt
+cargo run --release -q -p gcr-bench --bin fig10 -- --ablation \
+  --json results/fig10_ablation.json | tee results/fig10_ablation.txt

@@ -69,7 +69,7 @@ fn cli_runs_a_full_application() {
     let mut o = gcr_cli::parse_args(&[
         "-".to_string(),
         "--no-emit".into(),
-        "--report".into(),
+        "--summary".into(),
         "--check".into(),
         "--simulate".into(),
         "20".into(),
