@@ -1,0 +1,105 @@
+//! Microbenchmarks of the single-pass measurement path: the reuse-distance
+//! analyzer feeding a capacity sweep versus one dedicated LRU simulation
+//! per capacity, and trace capture with versus without the up-front
+//! capacity reservation from the interpreter's static estimate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gcr_cache::{Cache, CacheConfig, CapacitySweepSink};
+use gcr_exec::{AccessEvent, Machine, TraceSink};
+use gcr_ir::{ArrayId, ParamBinding, RefId, StmtId};
+use gcr_reuse::TraceCapture;
+use std::hint::black_box;
+
+/// Deterministic address stream mixing streaming and far reuse.
+fn addr_stream(n: usize) -> Vec<u64> {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    (0..n)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if i % 4 != 0 {
+                ((i as u64) * 8) % (1 << 18)
+            } else {
+                (x % (1 << 24)) & !7
+            }
+        })
+        .collect()
+}
+
+fn event(addr: u64) -> AccessEvent {
+    AccessEvent {
+        addr,
+        array: ArrayId::from_index(0),
+        ref_id: RefId::from_index(0),
+        stmt: StmtId::from_index(0),
+        is_write: false,
+    }
+}
+
+/// One analyzer pass answering eight capacities at once, against eight
+/// dedicated fully-associative LRU simulations of the same stream.
+fn bench_capacity_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capacity_sweep");
+    let n = 100_000usize;
+    let addrs = addr_stream(n);
+    let line = 32u64;
+    let caps: Vec<u64> = (0..8).map(|k| line << k).collect();
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(5);
+    g.bench_function("single_pass_all_capacities", |b| {
+        b.iter(|| {
+            let mut sweep = CapacitySweepSink::new(line, &caps);
+            for &a in &addrs {
+                sweep.access(event(a));
+            }
+            black_box(sweep.miss_counts().last().map(|&(_, m)| m))
+        });
+    });
+    g.bench_function("one_simulation_per_capacity", |b| {
+        b.iter(|| {
+            let mut last = 0u64;
+            for &cap in &caps {
+                let assoc = (cap / line) as usize;
+                let mut cache =
+                    Cache::new(CacheConfig { size: cap as usize, line: line as usize, assoc });
+                for &a in &addrs {
+                    cache.access(a);
+                }
+                last = cache.misses;
+            }
+            black_box(last)
+        });
+    });
+    g.finish();
+}
+
+/// Trace capture with the static-estimate reservation against the old
+/// grow-as-you-go path.
+fn bench_trace_capture(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_capture");
+    let prog = gcr_apps::adi::program();
+    let n = 96i64;
+    g.sample_size(5);
+    g.bench_function("reserved_from_estimate", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&prog, ParamBinding::new(vec![n]));
+            let est = m.estimate();
+            let mut cap = TraceCapture::with_capacity(est.instances, est.accesses);
+            m.run(&mut cap);
+            black_box(cap.finish().starts.len())
+        });
+    });
+    g.bench_function("unreserved", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&prog, ParamBinding::new(vec![n]));
+            let mut cap = TraceCapture::new();
+            m.run(&mut cap);
+            black_box(cap.finish().starts.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_capacity_sweep, bench_trace_capture);
+criterion_main!(benches);

@@ -9,13 +9,22 @@
 //! with the full pass trace and per-phase miss breakdown) is written to
 //! `results/fig10.json` (override with `--json <path>`).
 //!
+//! All app × strategy measurements run as one job list on the parallel
+//! sweep engine: `GCR_THREADS`/`--threads` set the worker count (output is
+//! byte-identical for any value), `GCR_MEASURE_CACHE=<file>` persists the
+//! content-keyed measurement cache so the `--ablation` superset reuses the
+//! base run's points, and the sweep wall clock lands in the report set's
+//! `timing` section.
+//!
 //! Usage: `fig10 [--size-scale F] [--steps K] [--ablation] [--app NAME]
-//! [--json PATH]`
+//! [--threads N] [--json PATH]`
 
-use gcr_bench::{fig10_strategies, print_table, try_measure_strategy_report, STEPS};
-use gcr_cli::ReportSet;
+use gcr_bench::sweep::{app_jobs, run_jobs, MeasureCache, SweepJob};
+use gcr_bench::{fig10_strategies, print_table, STEPS};
+use gcr_cli::{ReportSet, SweepTiming};
 use gcr_core::pipeline::Strategy;
 use gcr_core::regroup::RegroupLevel;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -26,10 +35,16 @@ fn main() {
     let steps: usize = get("--steps").map(|s| s.parse().unwrap()).unwrap_or(STEPS);
     let ablation = args.iter().any(|a| a == "--ablation");
     let only = get("--app");
+    let threads: usize = get("--threads").map(|s| s.parse().unwrap()).unwrap_or(0);
     let json_path = get("--json").unwrap_or_else(|| "results/fig10.json".into());
     let mut set = ReportSet::new("fig10", "Figure 10: effect of transformations");
 
-    for app in gcr_apps::evaluation_apps() {
+    // One flat job list across apps and strategies, so the pool balances
+    // the big kernels against the small ones.
+    let apps = gcr_apps::evaluation_apps();
+    let mut jobs: Vec<SweepJob<'_>> = Vec::new();
+    let mut groups: Vec<(&gcr_apps::AppSpec, i64, usize)> = Vec::new(); // (app, size, #jobs)
+    for app in &apps {
         if let Some(name) = &only {
             if !app.name.eq_ignore_ascii_case(name) {
                 continue;
@@ -45,20 +60,37 @@ fn main() {
             strategies
                 .push(Strategy::FusionRegroup { levels: 3, regroup: RegroupLevel::AvoidInnermost });
         }
+        let added = app_jobs(app, &strategies, size, steps);
+        groups.push((app, size, added.len()));
+        jobs.extend(added);
+    }
+
+    let cache = MeasureCache::from_env();
+    let start = Instant::now();
+    let mut results = run_jobs(threads, &cache, "fig10", &jobs).into_iter();
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    if let Err(e) = cache.save() {
+        eprintln!("could not persist measurement cache: {e}");
+    }
+
+    let mut job_iter = jobs.iter();
+    for (app, size, njobs) in groups {
         // One bad kernel (or one strategy the checked pipeline rejects)
         // must not kill the sweep: report it on stderr and keep going.
-        let measurements: Vec<_> = strategies
-            .iter()
-            .filter_map(|&s| match try_measure_strategy_report("fig10", &app, s, size, steps) {
+        let measurements: Vec<_> = results
+            .by_ref()
+            .take(njobs)
+            .zip(job_iter.by_ref().take(njobs))
+            .filter_map(|(res, job)| match res {
                 Ok((m, report, diagnostics)) => {
                     for d in diagnostics {
-                        eprintln!("{}/{}: {d}", app.name, s.label());
+                        eprintln!("{}/{}: {d}", app.name, job.strategy.label());
                     }
                     set.reports.push(report);
                     Some(m)
                 }
                 Err(e) => {
-                    eprintln!("{}/{}: skipped: {e}", app.name, s.label());
+                    eprintln!("{}/{}: skipped: {e}", app.name, job.strategy.label());
                     None
                 }
             })
@@ -101,6 +133,12 @@ fn main() {
             &rows,
         );
     }
+    set.timing = Some(SweepTiming {
+        threads: if threads == 0 { gcr_par::thread_count() } else { threads },
+        wall_ns,
+        memo_hits: cache.hits(),
+        memo_misses: cache.misses(),
+    });
     match set.write(&json_path) {
         Ok(()) => println!("\nJSON report set ({} runs) written to {json_path}", set.reports.len()),
         Err(e) => eprintln!("could not write {json_path}: {e}"),

@@ -13,44 +13,69 @@
 //! labelled by execution order) is written to `results/fig3.json`
 //! (override with `--json <path>`).
 //!
-//! Usage: `fig3 [--quick] [--json PATH]`
+//! The four plots are independent, so they run as one job list on the
+//! parallel sweep engine (`GCR_THREADS`/`--threads`); each worker renders
+//! its text plot off-thread and the driver prints them in input order, so
+//! stdout and the JSON are byte-identical across thread counts.
+//!
+//! Usage: `fig3 [--quick] [--threads N] [--json PATH]`
 
-use gcr_bench::{capture_trace, render_histogram};
+use gcr_bench::{capture_trace, histogram_text};
 use gcr_cli::report::{ProfileSection, ProgramInfo};
-use gcr_cli::{Report, ReportSet};
+use gcr_cli::{Report, ReportSet, SweepTiming};
 use gcr_core::{fuse_program, FusionOptions};
 use gcr_ir::ParamBinding;
 use gcr_reuse::driven::{measure_order, measure_program_order, reuse_driven_order};
 use gcr_reuse::{Histogram, ReuseProfile};
+use std::time::Instant;
+
+struct PlotJob {
+    name: String,
+    prog: gcr_ir::Program,
+    size: i64,
+    with_fusion: bool,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "results/fig3.json".into());
+    let get = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    };
+    let threads: usize = get("--threads").map(|s| s.parse().unwrap()).unwrap_or(0);
+    let json_path = get("--json").unwrap_or_else(|| "results/fig3.json".into());
     let adi_sizes: &[i64] = if quick { &[26, 50] } else { &[50, 100] };
     let sp_sizes: &[i64] = if quick { &[8, 14] } else { &[14, 28] };
     let mut set = ReportSet::new("fig3", "Figure 3: effect of reuse-driven execution");
 
+    let mut jobs: Vec<PlotJob> = Vec::new();
     for &n in adi_sizes {
-        let prog = gcr_apps::adi::program();
-        plot(&mut set, &format!("ADI, {n}x{n}"), &prog, ParamBinding::new(vec![n]), n, false);
+        jobs.push(PlotJob {
+            name: format!("ADI, {n}x{n}"),
+            prog: gcr_apps::adi::program(),
+            size: n,
+            with_fusion: false,
+        });
     }
     for &n in sp_sizes {
-        let prog = gcr_apps::sp::program();
-        let with_fusion = n == *sp_sizes.last().unwrap();
-        plot(
-            &mut set,
-            &format!("NAS/SP, {n}x{n}x{n}"),
-            &prog,
-            ParamBinding::new(vec![n]),
-            n,
-            with_fusion,
-        );
+        jobs.push(PlotJob {
+            name: format!("NAS/SP, {n}x{n}x{n}"),
+            prog: gcr_apps::sp::program(),
+            size: n,
+            with_fusion: n == *sp_sizes.last().unwrap(),
+        });
     }
+
+    let threads = if threads == 0 { gcr_par::thread_count() } else { threads };
+    let start = Instant::now();
+    let results = gcr_par::scope_map_with(threads, &jobs, plot);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    for (text, report) in results {
+        print!("{text}");
+        set.reports.push(report);
+    }
+    set.timing =
+        Some(SweepTiming { threads, wall_ns, memo_hits: 0, memo_misses: jobs.len() as u64 });
     match set.write(&json_path) {
         Ok(()) => {
             println!("\nJSON report set ({} plots) written to {json_path}", set.reports.len())
@@ -59,51 +84,44 @@ fn main() {
     }
 }
 
-fn plot(
-    set: &mut ReportSet,
-    name: &str,
-    prog: &gcr_ir::Program,
-    bind: ParamBinding,
-    size: i64,
-    with_fusion: bool,
-) {
+fn plot(job: &PlotJob) -> (String, Report) {
+    let PlotJob { name, prog, size, with_fusion } = job;
+    let bind = ParamBinding::new(vec![*size]);
     let trace = capture_trace(prog, bind.clone());
     let (h_prog, _) = measure_program_order(&trace);
     let order = reuse_driven_order(&trace);
     let (h_driven, _) = measure_order(&trace, &order);
     let mut curves: Vec<(String, Histogram)> =
         vec![("program order".into(), h_prog.clone()), ("reuse-driven".into(), h_driven.clone())];
-    if with_fusion {
+    let text = if *with_fusion {
         // Third curve: reuse-based fusion (source-level), program order.
-        let mut fused = prog.clone();
         let opt = gcr_core::pipeline::OptimizeOptions::default();
-        let mut f = fused.clone();
-        gcr_core::prelim::preliminary(&mut f, opt.small_dim_limit);
-        fuse_program(&mut f, &FusionOptions::default());
-        fused = f;
+        let mut fused = prog.clone();
+        gcr_core::prelim::preliminary(&mut fused, opt.small_dim_limit);
+        fuse_program(&mut fused, &FusionOptions::default());
         let ftrace = capture_trace(&fused, bind);
         let (h_fused, _) = measure_program_order(&ftrace);
         curves.insert(1, ("reuse-fusion".into(), h_fused.clone()));
-        render_histogram(
+        histogram_text(
             name,
             &[("program order", &h_prog), ("reuse-fusion", &h_fused), ("reuse-driven", &h_driven)],
-        );
+        )
     } else {
-        render_histogram(name, &[("program order", &h_prog), ("reuse-driven", &h_driven)]);
-    }
+        histogram_text(name, &[("program order", &h_prog), ("reuse-driven", &h_driven)])
+    };
     let info = ProgramInfo::of(prog);
-    set.reports.push(Report {
+    let report = Report {
         generator: "fig3".into(),
         program: info.clone(),
         output: info,
-        requested: name.into(),
-        delivered: name.into(),
+        requested: name.clone(),
+        delivered: name.clone(),
         checks: 0,
         oracle_disabled: None,
         trace: Vec::new(),
         fallbacks: Vec::new(),
         profile: Some(ProfileSection {
-            size,
+            size: *size,
             steps: 1,
             profile: ReuseProfile {
                 granularity: 8,
@@ -113,5 +131,6 @@ fn plot(
             },
         }),
         simulation: None,
-    });
+    };
+    (text, report)
 }

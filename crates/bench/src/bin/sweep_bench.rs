@@ -1,0 +1,118 @@
+//! Sweep-engine benchmark: runs the Figure-10 measurement sweep serially
+//! and in parallel, checks the outputs are byte-identical, and records
+//! both wall times (plus the memoization effect of a warm content-keyed
+//! cache) in `BENCH_sweep.json` at the repository root.
+//!
+//! This is the acceptance artifact for the parallel sweep engine: the
+//! `speedup` field is honest wall clock on whatever host ran it (1.0-ish
+//! on a single-core container), and `identical` proves the parallelism
+//! changed nothing but time.
+//!
+//! Usage: `sweep_bench [--size-scale F] [--steps K] [--threads N]
+//! [--json PATH]`
+
+use gcr_bench::sweep::{app_jobs, run_jobs, JobResult, MeasureCache};
+use gcr_bench::{fig10_strategies, STEPS};
+use gcr_cli::report::Json;
+use gcr_cli::ReportSet;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    };
+    let scale: f64 = get("--size-scale").map(|s| s.parse().unwrap()).unwrap_or(1.0);
+    let steps: usize = get("--steps").map(|s| s.parse().unwrap()).unwrap_or(STEPS);
+    let threads: usize = get("--threads").map(|s| s.parse().unwrap()).unwrap_or(0);
+    let threads = if threads == 0 { gcr_par::thread_count() } else { threads };
+    let json_path = get("--json").unwrap_or_else(|| "BENCH_sweep.json".into());
+
+    let apps = gcr_apps::evaluation_apps();
+    let mut jobs = Vec::new();
+    for app in &apps {
+        let size = ((app.default_size as f64 * scale) as i64).max(8);
+        jobs.extend(app_jobs(app, &fig10_strategies(app.name), size, steps));
+    }
+
+    // Serial reference: one worker, cold cache.
+    let serial_cache = MeasureCache::new();
+    let t0 = Instant::now();
+    let serial = run_jobs(1, &serial_cache, "sweep_bench", &jobs);
+    let serial_ns = t0.elapsed().as_nanos() as u64;
+
+    // Parallel run: cold cache again, so the comparison is pure threading.
+    let par_cache = MeasureCache::new();
+    let t1 = Instant::now();
+    let parallel = run_jobs(threads, &par_cache, "sweep_bench", &jobs);
+    let parallel_ns = t1.elapsed().as_nanos() as u64;
+
+    let identical = normalized_json(&serial) == normalized_json(&parallel);
+
+    // Warm re-run on the parallel cache: every measurement memoized.
+    let warm_hits_before = par_cache.hits();
+    let t2 = Instant::now();
+    let _warm = run_jobs(threads, &par_cache, "sweep_bench", &jobs);
+    let warm_ns = t2.elapsed().as_nanos() as u64;
+    let warm_hits = par_cache.hits() - warm_hits_before;
+
+    let speedup = serial_ns as f64 / parallel_ns.max(1) as f64;
+    let memo_speedup = parallel_ns as f64 / warm_ns.max(1) as f64;
+    println!(
+        "sweep of {} jobs: serial {:.3}s, {} threads {:.3}s (speedup {:.2}x), \
+         warm cache {:.3}s (memo speedup {:.2}x), outputs identical: {}",
+        jobs.len(),
+        serial_ns as f64 / 1e9,
+        threads,
+        parallel_ns as f64 / 1e9,
+        speedup,
+        warm_ns as f64 / 1e9,
+        memo_speedup,
+        identical,
+    );
+
+    let doc = Json::O(vec![
+        ("schema", Json::S("gcr-bench-sweep/v1".into())),
+        ("jobs", Json::U(jobs.len() as u64)),
+        ("steps", Json::U(steps as u64)),
+        ("threads", Json::U(threads as u64)),
+        ("serial_wall_ns", Json::U(serial_ns)),
+        ("parallel_wall_ns", Json::U(parallel_ns)),
+        ("speedup", Json::F(speedup)),
+        ("identical", Json::Bool(identical)),
+        (
+            "memo",
+            Json::O(vec![
+                ("warm_wall_ns", Json::U(warm_ns)),
+                ("warm_hits", Json::U(warm_hits)),
+                ("cold_misses", Json::U(par_cache.misses())),
+                ("speedup", Json::F(memo_speedup)),
+            ]),
+        ),
+    ]);
+    match std::fs::write(&json_path, doc.render()) {
+        Ok(()) => println!("benchmark written to {json_path}"),
+        Err(e) => {
+            eprintln!("could not write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !identical {
+        eprintln!("serial and parallel sweeps diverged — parallel engine is broken");
+        std::process::exit(1);
+    }
+}
+
+/// Normalized JSON of a job-result list: what the determinism guarantee is
+/// stated over (wall clocks stripped, errors stringified).
+fn normalized_json(results: &[JobResult]) -> String {
+    let mut set = ReportSet::new("sweep_bench", "determinism check");
+    let mut errors = String::new();
+    for r in results {
+        match r {
+            Ok((_, report, _)) => set.reports.push(report.clone()),
+            Err(e) => errors.push_str(&format!("{e}\n")),
+        }
+    }
+    set.normalized().to_json() + &errors
+}

@@ -9,13 +9,19 @@
 //! set (schema `gcr-report-set/v1`) is written to `results/table6.json`
 //! (override with `--json <path>`).
 //!
-//! Usage: `table6 [--size-scale F] [--steps K] [--json PATH]`
+//! The app × strategy cross-product runs as one job list on the parallel
+//! sweep engine (`GCR_THREADS`/`--threads`, `GCR_MEASURE_CACHE`); averages
+//! are accumulated serially in app order afterwards, so every printed
+//! digit is byte-identical across thread counts.
+//!
+//! Usage: `table6 [--size-scale F] [--steps K] [--threads N] [--json PATH]`
 
-use gcr_bench::{print_table, try_measure_strategy_report, Measurement, STEPS};
-use gcr_cli::ReportSet;
+use gcr_bench::sweep::{app_jobs, run_jobs, MeasureCache};
+use gcr_bench::{print_table, Measurement, STEPS};
+use gcr_cli::{ReportSet, SweepTiming};
 use gcr_core::pipeline::Strategy;
 use gcr_core::regroup::RegroupLevel;
-use std::cell::RefCell;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -24,27 +30,43 @@ fn main() {
     };
     let scale: f64 = get("--size-scale").map(|s| s.parse().unwrap()).unwrap_or(1.0);
     let steps: usize = get("--steps").map(|s| s.parse().unwrap()).unwrap_or(STEPS);
+    let threads: usize = get("--threads").map(|s| s.parse().unwrap()).unwrap_or(0);
     let json_path = get("--json").unwrap_or_else(|| "results/table6.json".into());
-    let set = RefCell::new(ReportSet::new(
+    let mut set = ReportSet::new(
         "table6",
         "Section 6: normalized misses and memory traffic (NoOpt / SGI-like / New)",
-    ));
+    );
 
     let new_strategy = Strategy::FusionRegroup { levels: 3, regroup: RegroupLevel::Multi };
+    let strategies = [Strategy::Original, Strategy::Sgi, new_strategy];
+    let apps = gcr_apps::evaluation_apps();
+    let mut jobs = Vec::new();
+    for app in &apps {
+        let size = ((app.default_size as f64 * scale) as i64).max(8);
+        jobs.extend(app_jobs(app, &strategies, size, steps));
+    }
+
+    let cache = MeasureCache::from_env();
+    let start = Instant::now();
+    let mut results = run_jobs(threads, &cache, "table6", &jobs).into_iter();
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    if let Err(e) = cache.save() {
+        eprintln!("could not persist measurement cache: {e}");
+    }
+
     let mut rows = Vec::new();
     let mut sums = [[0.0f64; 3]; 2]; // [sgi|new][l1|l2|tlb]
     let mut count = 0usize;
-    for app in gcr_apps::evaluation_apps() {
-        let size = ((app.default_size as f64 * scale) as i64).max(8);
+    for app in &apps {
         // Skip any app where a version cannot be optimized/measured, rather
         // than aborting the whole table.
-        let measure = |s: Strategy| -> Option<Measurement> {
-            match try_measure_strategy_report("table6", &app, s, size, steps) {
+        let mut take = |s: Strategy| -> Option<Measurement> {
+            match results.next().expect("one result per job") {
                 Ok((m, report, diagnostics)) => {
                     for d in diagnostics {
                         eprintln!("{}/{}: {d}", app.name, s.label());
                     }
-                    set.borrow_mut().reports.push(report);
+                    set.reports.push(report);
                     Some(m)
                 }
                 Err(e) => {
@@ -53,9 +75,8 @@ fn main() {
                 }
             }
         };
-        let (Some(base), Some(sgi), Some(new)) =
-            (measure(Strategy::Original), measure(Strategy::Sgi), measure(new_strategy))
-        else {
+        let (base, sgi, new) = (take(Strategy::Original), take(Strategy::Sgi), take(new_strategy));
+        let (Some(base), Some(sgi), Some(new)) = (base, sgi, new) else {
             eprintln!("{}: skipped (a version failed)", app.name);
             continue;
         };
@@ -66,7 +87,7 @@ fn main() {
             sums[1][k] += r_new[k + 1];
         }
         count += 1;
-        let traffic = |m: &gcr_bench::Measurement| {
+        let traffic = |m: &Measurement| {
             m.misses.memory_traffic as f64 / base.misses.memory_traffic.max(1) as f64
         };
         rows.push(vec![
@@ -123,7 +144,12 @@ fn main() {
         ratio(red(sums[1][1]), red(sums[0][1])),
         ratio(red(sums[1][2]), red(sums[0][2])),
     );
-    let set = set.into_inner();
+    set.timing = Some(SweepTiming {
+        threads: if threads == 0 { gcr_par::thread_count() } else { threads },
+        wall_ns,
+        memo_hits: cache.hits(),
+        memo_misses: cache.misses(),
+    });
     match set.write(&json_path) {
         Ok(()) => println!("\nJSON report set ({} runs) written to {json_path}", set.reports.len()),
         Err(e) => eprintln!("could not write {json_path}: {e}"),

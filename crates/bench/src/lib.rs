@@ -3,7 +3,11 @@
 //! `gcr-bench` — experiment harness regenerating every table and figure of
 //! the paper's evaluation. Each binary in `src/bin/` reproduces one
 //! artifact (see DESIGN.md's per-experiment index); this library holds the
-//! shared measurement machinery.
+//! shared measurement machinery, and [`sweep`] holds the parallel sweep
+//! engine (worker-pool fan-out + content-keyed measurement memoization)
+//! those binaries run on.
+
+pub mod sweep;
 
 use gcr_apps::AppSpec;
 use gcr_cache::{CostModel, HierarchySink, MemoryHierarchy, MissCounts, PhasedHierarchySink};
@@ -193,10 +197,13 @@ pub fn program_order_histogram(prog: &gcr_ir::Program, bind: ParamBinding) -> Hi
     sink.analyzer.hist.clone()
 }
 
-/// Captures a one-step instruction trace of a program.
+/// Captures a one-step instruction trace of a program. Capacity for the
+/// whole trace is reserved up front from the interpreter's static
+/// estimate, so multi-million-access captures do not reallocate.
 pub fn capture_trace(prog: &gcr_ir::Program, bind: ParamBinding) -> InstrTrace {
     let mut m = Machine::new(prog, bind);
-    let mut cap = TraceCapture::new();
+    let est = m.estimate();
+    let mut cap = TraceCapture::with_capacity(est.instances, est.accesses);
     m.run(&mut cap);
     cap.finish()
 }
@@ -218,7 +225,8 @@ pub struct Tee<'a, A: TraceSink, B: TraceSink> {
 }
 
 impl<A: TraceSink, B: TraceSink> TraceSink for Tee<'_, A, B> {
-    fn access(&mut self, ev: &gcr_exec::AccessEvent) {
+    #[inline]
+    fn access(&mut self, ev: gcr_exec::AccessEvent) {
         self.a.access(ev);
         self.b.access(ev);
     }
@@ -258,26 +266,36 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 /// Renders a histogram as a text "plot": one line per log₂ bin, in
 /// thousands of references (the paper's Figure 3 axes).
 pub fn render_histogram(name: &str, hists: &[(&str, &Histogram)]) {
-    println!("\n-- {name}: references (thousands) per log2(reuse distance) bin --");
+    print!("{}", histogram_text(name, hists));
+}
+
+/// [`render_histogram`] into a string, so parallel sweep workers can
+/// build their plots off-thread and the driver can print them in input
+/// order.
+pub fn histogram_text(name: &str, hists: &[(&str, &Histogram)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n-- {name}: references (thousands) per log2(reuse distance) bin --");
     let maxbin = hists.iter().map(|(_, h)| h.bins.len()).max().unwrap_or(0);
-    print!("{:>6}", "bin");
+    let _ = write!(out, "{:>6}", "bin");
     for (label, _) in hists {
-        print!("{label:>16}");
+        let _ = write!(out, "{label:>16}");
     }
-    println!();
+    out.push('\n');
     for b in 0..maxbin {
-        print!("{b:>6}");
+        let _ = write!(out, "{b:>6}");
         for (_, h) in hists {
             let v = h.bins.get(b).copied().unwrap_or(0);
-            print!("{:>16.1}", v as f64 / 1e3);
+            let _ = write!(out, "{:>16.1}", v as f64 / 1e3);
         }
-        println!();
+        out.push('\n');
     }
-    print!("{:>6}", "cold");
+    let _ = write!(out, "{:>6}", "cold");
     for (_, h) in hists {
-        print!("{:>16.1}", h.cold as f64 / 1e3);
+        let _ = write!(out, "{:>16.1}", h.cold as f64 / 1e3);
     }
-    println!();
+    out.push('\n');
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,485 @@
+//! The parallel sweep engine: every experiment binary is a list of
+//! independent (app × strategy) measurement jobs, so the harness runs them
+//! on the [`gcr_par`] worker pool and memoizes each measurement under a
+//! content key.
+//!
+//! Two redundancy killers compose here:
+//!
+//! * **Parallelism** — [`run_jobs`] fans a job list out over
+//!   [`gcr_par::scope_map_with`]; results come back in input order, so the
+//!   printed tables and the JSON report sets are byte-identical to a
+//!   serial run for any thread count (`GCR_THREADS`, `--threads`).
+//! * **Memoization** — a [`MeasureCache`] keys each cache simulation by
+//!   the *content* of what determines it: the printed optimized program,
+//!   the concrete data layout, the parameter binding, the step count and
+//!   the hierarchy scales. Strategies that degrade to identical IR (the
+//!   fail-safe ladder collapses them), and points shared between `fig10`
+//!   and its `--ablation` superset, reuse the measurement instead of
+//!   re-simulating. Set `GCR_MEASURE_CACHE=<file>` to persist the cache
+//!   across processes (how `reproduce.sh` shares the base `fig10` points
+//!   with the ablation pass).
+//!
+//! Only the expensive part — interpreting the program through the cache
+//! hierarchy — is memoized. The per-strategy pass trace, fallback rungs
+//! and labels are recomputed on every call, so a report produced from a
+//! cache hit differs from a cold one only in pass wall-clocks (which
+//! [`gcr_cli::ReportSet::normalized`] strips).
+
+use crate::{Measurement, MEASURE_FUEL};
+use gcr_apps::AppSpec;
+use gcr_cache::{CostModel, MemoryHierarchy, MissCounts, PhasedHierarchySink};
+use gcr_cli::report::SimSection;
+use gcr_cli::Report;
+use gcr_core::checked::{apply_strategy_checked_traced, SafetyOptions};
+use gcr_core::pipeline::Strategy;
+use gcr_core::Tracer;
+use gcr_exec::{DataLayout, ExecStats, Machine};
+use gcr_ir::{GcrError, ParamBinding};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// Content keys
+// ---------------------------------------------------------------------------
+
+/// 64-bit FNV-1a. The standard library's `DefaultHasher` is only promised
+/// stable within one compiler release; cache files persisted via
+/// `GCR_MEASURE_CACHE` must outlive that, so the key hash is pinned here.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The content key of one measurement: everything the simulated counters
+/// depend on. Two strategy requests that optimize to the same program
+/// text, layout and binding produce the same address stream, hence the
+/// same measurement.
+pub fn measurement_key(
+    program_text: &str,
+    layout: &DataLayout,
+    bind: &ParamBinding,
+    steps: usize,
+    l1_scale: usize,
+    l2_scale: usize,
+) -> u64 {
+    use std::fmt::Write as _;
+    let mut key = String::with_capacity(program_text.len() + 256);
+    key.push_str(program_text);
+    let _ = write!(key, "|bind={bind:?}|steps={steps}|l1={l1_scale}|l2={l2_scale}|layout=");
+    let _ = write!(key, "total:{};", layout.total_bytes);
+    for a in &layout.arrays {
+        let _ = write!(key, "{}/{:?}/{:?};", a.base, a.strides, a.extents);
+    }
+    fnv1a(key.as_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Measurement cache
+// ---------------------------------------------------------------------------
+
+/// The memoized portion of one measured run: exactly the data that is a
+/// pure function of the [`measurement_key`] inputs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachedRun {
+    /// Interpreter statistics.
+    pub stats: ExecStats,
+    /// Total miss counters.
+    pub misses: MissCounts,
+    /// Modeled cycles.
+    pub cycles: f64,
+    /// Per-phase miss counters.
+    pub phases: Vec<(String, MissCounts)>,
+}
+
+/// Header line of the on-disk cache format.
+const DISK_SCHEMA: &str = "gcr-measure-cache/v1";
+
+/// A concurrent content-keyed measurement cache, optionally persisted to a
+/// file so separate processes (the base `fig10` run and its `--ablation`
+/// superset) share points.
+#[derive(Default)]
+pub struct MeasureCache {
+    map: Mutex<HashMap<u64, CachedRun>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disk: Option<String>,
+}
+
+impl MeasureCache {
+    /// An empty in-memory cache.
+    pub fn new() -> MeasureCache {
+        MeasureCache::default()
+    }
+
+    /// A cache persisted at `path`: pre-loaded from the file when it
+    /// exists (unreadable or mis-versioned files are ignored, not fatal),
+    /// written back by [`MeasureCache::save`].
+    pub fn with_disk(path: impl Into<String>) -> MeasureCache {
+        let path = path.into();
+        let mut cache = MeasureCache::new();
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Some(entries) = parse_disk(&text) {
+                cache.map = Mutex::new(entries);
+            }
+        }
+        cache.disk = Some(path);
+        cache
+    }
+
+    /// The cache configured by `GCR_MEASURE_CACHE` (a file path), or a
+    /// plain in-memory cache when the variable is unset.
+    pub fn from_env() -> MeasureCache {
+        match std::env::var("GCR_MEASURE_CACHE") {
+            Ok(path) if !path.is_empty() => MeasureCache::with_disk(path),
+            _ => MeasureCache::new(),
+        }
+    }
+
+    /// Looks up a key, counting the hit or miss.
+    pub fn lookup(&self, key: u64) -> Option<CachedRun> {
+        let got = self.map.lock().unwrap().get(&key).cloned();
+        match got {
+            Some(run) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(run)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a measurement under its key.
+    pub fn insert(&self, key: u64, run: CachedRun) {
+        self.map.lock().unwrap().insert(key, run);
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to run the measurement.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct measurements held.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when no measurement is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes the cache back to its configured file (no-op for in-memory
+    /// caches). Entries are sorted by key so the file is deterministic.
+    pub fn save(&self) -> std::io::Result<()> {
+        let Some(path) = &self.disk else { return Ok(()) };
+        let map = self.map.lock().unwrap();
+        let mut keys: Vec<&u64> = map.keys().collect();
+        keys.sort();
+        let mut out = String::new();
+        out.push_str(DISK_SCHEMA);
+        out.push('\n');
+        for k in keys {
+            let run = &map[k];
+            render_entry(&mut out, *k, run);
+        }
+        std::fs::write(path, out)
+    }
+}
+
+fn render_entry(out: &mut String, key: u64, run: &CachedRun) {
+    use std::fmt::Write as _;
+    let m = |out: &mut String, c: &MissCounts| {
+        let _ = write!(out, "{} {} {} {} {}", c.refs, c.l1, c.l2, c.tlb, c.memory_traffic);
+    };
+    let _ = write!(
+        out,
+        "e {key:016x} {:016x} {} {} {} {} ",
+        run.cycles.to_bits(),
+        run.stats.instances,
+        run.stats.flops,
+        run.stats.reads,
+        run.stats.writes
+    );
+    m(out, &run.misses);
+    let _ = writeln!(out, " {}", run.phases.len());
+    for (label, c) in &run.phases {
+        out.push_str("p ");
+        m(out, c);
+        // Label last: it may contain spaces, the counters cannot.
+        let _ = writeln!(out, " {label}");
+    }
+}
+
+fn parse_disk(text: &str) -> Option<HashMap<u64, CachedRun>> {
+    let mut lines = text.lines();
+    if lines.next()? != DISK_SCHEMA {
+        return None;
+    }
+    let mut map = HashMap::new();
+    let mut lines = lines.peekable();
+    while let Some(line) = lines.next() {
+        let mut f = line.strip_prefix("e ")?.split_ascii_whitespace();
+        let key = u64::from_str_radix(f.next()?, 16).ok()?;
+        let cycles = f64::from_bits(u64::from_str_radix(f.next()?, 16).ok()?);
+        let mut n = || f.next()?.parse::<u64>().ok();
+        let stats = ExecStats { instances: n()?, flops: n()?, reads: n()?, writes: n()? };
+        let mut counts = || -> Option<MissCounts> {
+            Some(MissCounts { refs: n()?, l1: n()?, l2: n()?, tlb: n()?, memory_traffic: n()? })
+        };
+        let misses = counts()?;
+        let nphases = n()? as usize;
+        let mut phases = Vec::with_capacity(nphases);
+        for _ in 0..nphases {
+            let pline = lines.next()?.strip_prefix("p ")?;
+            let mut f = pline.splitn(6, ' ');
+            let mut n = || f.next()?.parse::<u64>().ok();
+            let c = MissCounts { refs: n()?, l1: n()?, l2: n()?, tlb: n()?, memory_traffic: n()? };
+            phases.push((f.next()?.to_string(), c));
+        }
+        map.insert(key, CachedRun { stats, misses, cycles, phases });
+    }
+    Some(map)
+}
+
+// ---------------------------------------------------------------------------
+// Cached measurement
+// ---------------------------------------------------------------------------
+
+/// [`crate::try_measure_strategy_report`] with the simulation memoized in
+/// `cache`: optimization (cheap, and the source of the per-strategy pass
+/// trace) always runs; the interpreter + hierarchy pass (expensive) is
+/// skipped when an identical program/layout/binding was already measured.
+pub fn measure_strategy_report_cached(
+    cache: &MeasureCache,
+    generator: &str,
+    app: &AppSpec,
+    strategy: Strategy,
+    size: i64,
+    steps: usize,
+) -> Result<(Measurement, Report, Vec<String>), GcrError> {
+    let (prog, bind) = (app.build)(size);
+    let mut tracer = Tracer::enabled();
+    let opt =
+        apply_strategy_checked_traced(&prog, strategy, &SafetyOptions::default(), &mut tracer)?;
+    let layout = opt.layout(&bind);
+    let key = measurement_key(
+        &gcr_ir::print::print_program(&opt.program),
+        &layout,
+        &bind,
+        steps,
+        app.l1_scale,
+        app.l2_scale,
+    );
+    let run = match cache.lookup(key) {
+        Some(run) => run,
+        None => {
+            let mut machine = Machine::try_with_layout(
+                &opt.program,
+                bind,
+                layout,
+                Some(gcr_core::checked::DEFAULT_MAX_BYTES),
+            )?;
+            let mut sink = PhasedHierarchySink::new(
+                MemoryHierarchy::origin2000_scaled(app.l1_scale, app.l2_scale),
+                &opt.program,
+            );
+            machine.run_steps_guarded(&mut sink, steps, MEASURE_FUEL)?;
+            let misses = sink.hierarchy.counts();
+            let stats = machine.stats();
+            let cycles = CostModel::default().cycles(&stats, &misses);
+            let run = CachedRun { stats, misses, cycles, phases: sink.phases() };
+            cache.insert(key, run.clone());
+            run
+        }
+    };
+    let mut label = strategy.label();
+    if opt.robustness.degraded() {
+        label = format!("{} (degraded: {})", opt.robustness.strategy, label);
+    }
+    let mut report = Report::new(generator, &prog, strategy.label(), &opt, tracer.into_events());
+    report.simulation = Some(SimSection {
+        size,
+        steps,
+        cycles: run.cycles,
+        flops: run.stats.flops,
+        total: run.misses,
+        phases: run.phases,
+    });
+    let measurement =
+        Measurement { label, stats: run.stats, misses: run.misses, cycles: run.cycles };
+    Ok((measurement, report, opt.robustness.describe()))
+}
+
+// ---------------------------------------------------------------------------
+// Job fan-out
+// ---------------------------------------------------------------------------
+
+/// One independent measurement: an app, a strategy, and the run geometry.
+#[derive(Clone, Copy)]
+pub struct SweepJob<'a> {
+    /// The application under measurement.
+    pub app: &'a AppSpec,
+    /// The program version.
+    pub strategy: Strategy,
+    /// Size parameter.
+    pub size: i64,
+    /// Time steps.
+    pub steps: usize,
+}
+
+/// What one job produces: the measurement, its report, and any
+/// degradation diagnostics — or the error that disqualified it.
+pub type JobResult = Result<(Measurement, Report, Vec<String>), GcrError>;
+
+/// Runs a job list on `threads` workers (0 = [`gcr_par::thread_count`],
+/// which honours `GCR_THREADS`). Results are returned in input order and
+/// each measurement is memoized in `cache`, so output is byte-identical
+/// across thread counts and repeat runs.
+pub fn run_jobs(
+    threads: usize,
+    cache: &MeasureCache,
+    generator: &str,
+    jobs: &[SweepJob<'_>],
+) -> Vec<JobResult> {
+    let threads = if threads == 0 { gcr_par::thread_count() } else { threads };
+    gcr_par::scope_map_with(threads, jobs, |job| {
+        measure_strategy_report_cached(cache, generator, job.app, job.strategy, job.size, job.steps)
+    })
+}
+
+/// The jobs of one app under the given strategies (the common shape of the
+/// experiment binaries' sweeps).
+pub fn app_jobs<'a>(
+    app: &'a AppSpec,
+    strategies: &[Strategy],
+    size: i64,
+    steps: usize,
+) -> Vec<SweepJob<'a>> {
+    strategies.iter().map(|&strategy| SweepJob { app, strategy, size, steps }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig10_strategies;
+
+    fn small_jobs(apps: &[AppSpec]) -> (Vec<SweepJob<'_>>, Vec<usize>) {
+        let mut jobs = Vec::new();
+        let mut per_app = Vec::new();
+        for app in apps {
+            let added = app_jobs(app, &fig10_strategies(app.name), 12, 1);
+            per_app.push(added.len());
+            jobs.extend(added);
+        }
+        (jobs, per_app)
+    }
+
+    #[test]
+    fn cached_measurement_equals_uncached() {
+        let apps = gcr_apps::evaluation_apps();
+        let adi = apps.iter().find(|a| a.name == "ADI").unwrap();
+        let cache = MeasureCache::new();
+        let strategy = Strategy::FusionOnly { levels: 3 };
+        let (cold, cold_report, _) =
+            measure_strategy_report_cached(&cache, "t", adi, strategy, 16, 2).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let (warm, warm_report, _) =
+            measure_strategy_report_cached(&cache, "t", adi, strategy, 16, 2).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cold.misses, warm.misses);
+        assert_eq!(cold.stats, warm.stats);
+        assert_eq!(cold.cycles, warm.cycles);
+        let reference = crate::try_measure_strategy_report("t", adi, strategy, 16, 2).unwrap();
+        assert_eq!(warm.misses, reference.0.misses, "memoized totals must match direct path");
+        assert_eq!(
+            warm_report.clone().normalized().to_json(),
+            reference.1.clone().normalized().to_json(),
+            "memoized report must match direct path modulo wall clocks"
+        );
+        assert_eq!(
+            cold_report.normalized().to_json(),
+            warm_report.normalized().to_json(),
+            "hit and miss paths must serialize identically"
+        );
+    }
+
+    #[test]
+    fn parallel_jobs_match_serial_in_order() {
+        let apps = gcr_apps::evaluation_apps();
+        let (jobs, _) = small_jobs(&apps);
+        let serial_cache = MeasureCache::new();
+        let serial = run_jobs(1, &serial_cache, "t", &jobs);
+        let par_cache = MeasureCache::new();
+        let par = run_jobs(4, &par_cache, "t", &jobs);
+        assert_eq!(serial.len(), par.len());
+        for (s, p) in serial.iter().zip(&par) {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(s.0.label, p.0.label);
+            assert_eq!(s.0.misses, p.0.misses);
+            assert_eq!(s.0.cycles, p.0.cycles);
+        }
+    }
+
+    #[test]
+    fn disk_cache_round_trips() {
+        let apps = gcr_apps::evaluation_apps();
+        let adi = apps.iter().find(|a| a.name == "ADI").unwrap();
+        let dir = std::env::temp_dir().join(format!("gcr-measure-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.txt");
+        let path_s = path.to_str().unwrap().to_string();
+        let cache = MeasureCache::with_disk(path_s.clone());
+        let (m1, _, _) =
+            measure_strategy_report_cached(&cache, "t", adi, Strategy::Original, 14, 1).unwrap();
+        assert_eq!(cache.misses(), 1);
+        cache.save().unwrap();
+        // A second process: loads the file, answers without simulating.
+        let warm = MeasureCache::with_disk(path_s);
+        assert_eq!(warm.len(), 1);
+        let (m2, _, _) =
+            measure_strategy_report_cached(&warm, "t", adi, Strategy::Original, 14, 1).unwrap();
+        assert_eq!((warm.hits(), warm.misses()), (1, 0));
+        assert_eq!(m1.misses, m2.misses);
+        assert_eq!(m1.cycles.to_bits(), m2.cycles.to_bits());
+        assert_eq!(m1.stats, m2.stats);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_cache_rejects_foreign_files() {
+        assert!(parse_disk("not-a-cache\n").is_none());
+        assert!(parse_disk("gcr-measure-cache/v1\ngarbage line\n").is_none());
+        assert!(parse_disk("gcr-measure-cache/v1\n").map(|m| m.is_empty()).unwrap_or(false));
+    }
+
+    #[test]
+    fn key_distinguishes_every_input() {
+        let apps = gcr_apps::evaluation_apps();
+        let adi = apps.iter().find(|a| a.name == "ADI").unwrap();
+        let (prog, bind) = (adi.build)(16);
+        let opt = gcr_core::pipeline::apply_strategy(&prog, Strategy::Original);
+        let layout = opt.layout(&bind);
+        let text = gcr_ir::print::print_program(&opt.program);
+        let base = measurement_key(&text, &layout, &bind, 2, 16, 64);
+        assert_ne!(base, measurement_key(&text, &layout, &bind, 3, 16, 64), "steps");
+        assert_ne!(base, measurement_key(&text, &layout, &bind, 2, 8, 64), "l1 scale");
+        assert_ne!(base, measurement_key(&text, &layout, &bind, 2, 16, 32), "l2 scale");
+        let (_, bind2) = (adi.build)(18);
+        assert_ne!(base, measurement_key(&text, &layout, &bind2, 2, 16, 64), "binding");
+        let mut text2 = text.clone();
+        text2.push(' ');
+        assert_ne!(base, measurement_key(&text2, &layout, &bind, 2, 16, 64), "program text");
+    }
+}

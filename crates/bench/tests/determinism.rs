@@ -1,0 +1,64 @@
+//! Determinism guarantee of the parallel sweep engine: for any worker
+//! count, the normalized report-set JSON is byte-identical to the serial
+//! run's. `GCR_THREADS` is racy to set from tests, so thread counts are
+//! passed explicitly — the env override resolves to the same
+//! `scope_map_with` call.
+
+use gcr_bench::fig10_strategies;
+use gcr_bench::sweep::{app_jobs, run_jobs, MeasureCache, SweepJob};
+use gcr_cli::ReportSet;
+
+fn jobs_of(apps: &[gcr_apps::AppSpec]) -> Vec<SweepJob<'_>> {
+    let mut jobs = Vec::new();
+    for app in apps {
+        jobs.extend(app_jobs(app, &fig10_strategies(app.name), 12, 1));
+    }
+    jobs
+}
+
+fn sweep_json(threads: usize, jobs: &[SweepJob<'_>]) -> String {
+    let cache = MeasureCache::new();
+    let results = run_jobs(threads, &cache, "determinism", jobs);
+    let mut set = ReportSet::new("determinism", "parallel determinism check");
+    for r in results {
+        match r {
+            Ok((_, report, _)) => set.reports.push(report),
+            Err(e) => panic!("job failed: {e}"),
+        }
+    }
+    assert!(!set.reports.is_empty());
+    set.normalized().to_json()
+}
+
+#[test]
+fn sweep_output_is_byte_identical_for_1_2_and_8_threads() {
+    let apps = gcr_apps::evaluation_apps();
+    let jobs = jobs_of(&apps);
+    let serial = sweep_json(1, &jobs);
+    for threads in [2, 8] {
+        let parallel = sweep_json(threads, &jobs);
+        assert_eq!(serial, parallel, "{threads}-thread sweep diverged from serial");
+    }
+}
+
+#[test]
+fn warm_cache_does_not_change_output() {
+    let apps = gcr_apps::evaluation_apps();
+    let adi: Vec<_> = apps.iter().filter(|a| a.name == "ADI").cloned().collect();
+    let jobs = jobs_of(&adi);
+    let cache = MeasureCache::new();
+    let render = |results: Vec<gcr_bench::sweep::JobResult>| {
+        let mut set = ReportSet::new("determinism", "memo check");
+        for r in results {
+            set.reports.push(r.unwrap().1);
+        }
+        set.normalized().to_json()
+    };
+    let cold = render(run_jobs(2, &cache, "determinism", &jobs));
+    assert!(cache.misses() > 0);
+    let cold_misses = cache.misses();
+    let warm = render(run_jobs(2, &cache, "determinism", &jobs));
+    assert_eq!(cache.misses(), cold_misses, "warm run must not re-measure");
+    assert!(cache.hits() >= jobs.len() as u64);
+    assert_eq!(cold, warm, "memoized sweep diverged from measured sweep");
+}

@@ -170,7 +170,7 @@ impl HierarchySink {
 
 impl TraceSink for HierarchySink {
     #[inline]
-    fn access(&mut self, ev: &AccessEvent) {
+    fn access(&mut self, ev: AccessEvent) {
         self.hierarchy.access_rw(ev.addr, ev.is_write);
     }
 }
@@ -245,7 +245,7 @@ impl PhasedHierarchySink {
 
 impl TraceSink for PhasedHierarchySink {
     #[inline]
-    fn access(&mut self, ev: &AccessEvent) {
+    fn access(&mut self, ev: AccessEvent) {
         let phase = self.phase_of.get(ev.stmt.index()).copied().unwrap_or(0);
         if self.current != Some(phase) {
             self.flush();

@@ -33,8 +33,10 @@
 
 pub mod cost;
 pub mod hierarchy;
+pub mod multicap;
 pub mod sim;
 
 pub use cost::CostModel;
 pub use hierarchy::{HierarchySink, MemoryHierarchy, MissCounts, PhasedHierarchySink};
+pub use multicap::{CapacitySweepSink, MultiHierarchySink};
 pub use sim::{Cache, CacheConfig, Tlb};

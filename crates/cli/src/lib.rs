@@ -28,7 +28,7 @@ use gcr_core::regroup::RegroupLevel;
 use gcr_core::Tracer;
 use gcr_exec::Machine;
 use gcr_ir::{GcrError, ParamBinding};
-pub use report::{Report, ReportSet};
+pub use report::{Report, ReportSet, SweepTiming};
 use std::fmt::Write as _;
 
 /// Parsed command line.
@@ -345,7 +345,17 @@ pub fn run_source_with_diagnostics(
             MemoryHierarchy::origin2000_scaled(o.cache_scale.0, o.cache_scale.1),
             &opt.program,
         );
-        m.run_steps_guarded(&mut sink, o.steps, fuel)?;
+        // `--profile` alongside `--simulate` shares this interpreter pass:
+        // a tee feeds the profiler from the same address stream instead of
+        // re-running the program.
+        let mut psink = o.profile.then(|| gcr_reuse::ProfileSink::elements(&opt.program));
+        match psink.as_mut() {
+            Some(p) => {
+                let mut tee = SinkPair { a: &mut sink, b: p };
+                m.run_steps_guarded(&mut tee, o.steps, fuel)?;
+            }
+            None => m.run_steps_guarded(&mut sink, o.steps, fuel)?,
+        }
         let c = sink.hierarchy.counts();
         let cycles = CostModel::default().cycles(&m.stats(), &c);
         let _ = writeln!(
@@ -371,9 +381,15 @@ pub fn run_source_with_diagnostics(
                 phases: sink.phases(),
             });
         }
-    }
-    if o.profile {
-        let n = o.simulate.unwrap_or(64);
+        if let Some(p) = psink {
+            let section = report::ProfileSection { size: n, steps: o.steps, profile: p.finish() };
+            let _ = write!(out, "{}", section.to_text());
+            if let Some(r) = rep.as_mut() {
+                r.profile = Some(section);
+            }
+        }
+    } else if o.profile {
+        let n = 64;
         let bind = binding_for(&prog, n);
         let layout = opt.layout(&bind);
         let mut m = Machine::with_layout(&opt.program, bind, layout);
@@ -427,6 +443,26 @@ pub fn run_source_with_diagnostics(
 
 fn binding_for(prog: &gcr_ir::Program, n: i64) -> ParamBinding {
     ParamBinding::new(vec![n; prog.params.len()])
+}
+
+/// Feeds one interpreter pass to two sinks — how `--simulate --profile`
+/// measures both from a single run.
+struct SinkPair<'a, A: gcr_exec::TraceSink, B: gcr_exec::TraceSink> {
+    a: &'a mut A,
+    b: &'a mut B,
+}
+
+impl<A: gcr_exec::TraceSink, B: gcr_exec::TraceSink> gcr_exec::TraceSink for SinkPair<'_, A, B> {
+    #[inline]
+    fn access(&mut self, ev: gcr_exec::AccessEvent) {
+        self.a.access(ev);
+        self.b.access(ev);
+    }
+
+    fn end_instance(&mut self, stmt: gcr_ir::StmtId) {
+        self.a.end_instance(stmt);
+        self.b.end_instance(stmt);
+    }
 }
 
 /// Entry point used by `main`: loads the file and runs. The second element

@@ -658,6 +658,35 @@ fn sim_json(s: &SimSection) -> Json {
     ])
 }
 
+/// Wall-clock accounting of the sweep that produced a [`ReportSet`]: how
+/// many worker threads ran it, how long it took, and how often the
+/// content-keyed measurement cache short-circuited a run. Timing is
+/// machine-dependent by nature, so the section is *optional* and stripped
+/// by [`ReportSet::normalized`] — two sweeps of the same inputs compare
+/// byte-identical modulo this section.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepTiming {
+    /// Worker threads used (1 = serial).
+    pub threads: usize,
+    /// Wall-clock nanoseconds for the whole sweep.
+    pub wall_ns: u64,
+    /// Measurements answered from the content-keyed cache.
+    pub memo_hits: u64,
+    /// Measurements actually executed.
+    pub memo_misses: u64,
+}
+
+impl SweepTiming {
+    fn to_json_value(&self) -> Json {
+        Json::O(vec![
+            ("threads", Json::U(self.threads as u64)),
+            ("wall_ns", Json::U(self.wall_ns)),
+            ("memo_hits", Json::U(self.memo_hits)),
+            ("memo_misses", Json::U(self.memo_misses)),
+        ])
+    }
+}
+
 /// A list of [`Report`]s sharing one generator — the shape of every
 /// `results/*.json` artifact.
 #[derive(Clone, Debug, PartialEq)]
@@ -668,23 +697,43 @@ pub struct ReportSet {
     pub title: String,
     /// The runs.
     pub reports: Vec<Report>,
+    /// Sweep wall-clock accounting; the key is absent from the JSON when
+    /// unset, so pre-timing artifacts keep their exact bytes.
+    pub timing: Option<SweepTiming>,
 }
 
 impl ReportSet {
     /// An empty set.
     pub fn new(generator: impl Into<String>, title: impl Into<String>) -> ReportSet {
-        ReportSet { generator: generator.into(), title: title.into(), reports: Vec::new() }
+        ReportSet {
+            generator: generator.into(),
+            title: title.into(),
+            reports: Vec::new(),
+            timing: None,
+        }
+    }
+
+    /// Strips every machine-dependent field — per-pass wall clocks and the
+    /// `timing` section — so two sweeps of the same inputs serialize
+    /// identically (golden tests, serial-vs-parallel diffing).
+    pub fn normalized(mut self) -> ReportSet {
+        self.timing = None;
+        self.reports = self.reports.into_iter().map(Report::normalized).collect();
+        self
     }
 
     /// Machine-readable JSON.
     pub fn to_json(&self) -> String {
-        Json::O(vec![
+        let mut fields = vec![
             ("schema", Json::S(SET_SCHEMA.into())),
             ("generator", Json::S(self.generator.clone())),
             ("title", Json::S(self.title.clone())),
-            ("reports", Json::A(self.reports.iter().map(|r| r.to_json_value()).collect())),
-        ])
-        .render()
+        ];
+        if let Some(t) = &self.timing {
+            fields.push(("timing", t.to_json_value()));
+        }
+        fields.push(("reports", Json::A(self.reports.iter().map(|r| r.to_json_value()).collect())));
+        Json::O(fields).render()
     }
 
     /// Writes the JSON artifact, creating parent directories as needed.

@@ -21,4 +21,6 @@ pub mod layout;
 pub mod machine;
 
 pub use layout::{ArrayLayout, DataLayout};
-pub use machine::{AccessEvent, CountingSink, ExecStats, Machine, NullSink, TraceSink};
+pub use machine::{
+    AccessEvent, CountingSink, ExecEstimate, ExecStats, Machine, NullSink, TraceSink,
+};

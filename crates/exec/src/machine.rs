@@ -33,8 +33,10 @@ pub struct AccessEvent {
 
 /// Consumer of the access stream.
 pub trait TraceSink {
-    /// Called for every traced access, in execution order.
-    fn access(&mut self, ev: &AccessEvent);
+    /// Called for every traced access, in execution order. Events are
+    /// passed by value — [`AccessEvent`] is a small `Copy` struct, and the
+    /// hot interpreter → sink path should not bounce through a reference.
+    fn access(&mut self, ev: AccessEvent);
 
     /// Called after each dynamic statement instance (all its reads and its
     /// write have been reported). Used by the reuse-driven execution study
@@ -48,7 +50,7 @@ pub struct NullSink;
 
 impl TraceSink for NullSink {
     #[inline]
-    fn access(&mut self, _ev: &AccessEvent) {}
+    fn access(&mut self, _ev: AccessEvent) {}
 }
 
 /// Sink that counts reads and writes.
@@ -62,7 +64,7 @@ pub struct CountingSink {
 
 impl TraceSink for CountingSink {
     #[inline]
-    fn access(&mut self, ev: &AccessEvent) {
+    fn access(&mut self, ev: AccessEvent) {
         if ev.is_write {
             self.writes += 1;
         } else {
@@ -89,6 +91,20 @@ impl ExecStats {
     pub fn accesses(&self) -> u64 {
         self.reads + self.writes
     }
+}
+
+/// Statically estimated dynamic counts for one execution of the program
+/// body, computed from loop bounds without running anything. Guards are
+/// ignored, so both fields are *upper* bounds — tight for unguarded
+/// programs, slightly generous for fused ones. Intended for reserving
+/// trace-capture capacity up front instead of growing `Vec`s amortized.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecEstimate {
+    /// Dynamic assignment instances.
+    pub instances: u64,
+    /// Traced array accesses (scalar references excluded, matching what
+    /// the interpreter reports to its sink).
+    pub accesses: u64,
 }
 
 /// The interpreter. One `Machine` owns the memory image; `run` can be
@@ -175,6 +191,15 @@ impl<'p> Machine<'p> {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> ExecStats {
         self.stats
+    }
+
+    /// Statically estimated instance/access counts for one execution of
+    /// the body under this machine's parameter binding (see
+    /// [`ExecEstimate`] for the bound's direction).
+    pub fn estimate(&self) -> ExecEstimate {
+        let mut est = ExecEstimate::default();
+        estimate_list(&self.prog.body, 1, &self.binding, &mut est);
+        est
     }
 
     /// Executes the whole program body once, streaming accesses to `sink`.
@@ -273,6 +298,37 @@ impl<'p> Machine<'p> {
                     .sum::<f64>()
             })
             .sum()
+    }
+}
+
+/// Counts traced (non-scalar) reads in an expression tree.
+fn expr_traced_reads(e: &Expr) -> u64 {
+    match e {
+        Expr::Read(r) => u64::from(!r.subs.is_empty()),
+        Expr::Unary(_, x) => expr_traced_reads(x),
+        Expr::Bin(_, x, y) => expr_traced_reads(x) + expr_traced_reads(y),
+        Expr::Call(_, args) => args.iter().map(expr_traced_reads).sum(),
+        Expr::Const(_) | Expr::Lin(_) | Expr::Var { .. } => 0,
+    }
+}
+
+fn estimate_list(stmts: &[GuardedStmt], mult: u64, bind: &ParamBinding, est: &mut ExecEstimate) {
+    for gs in stmts {
+        match &gs.stmt {
+            Stmt::Assign(a) => {
+                let mut acc = expr_traced_reads(&a.rhs);
+                if !a.lhs.subs.is_empty() {
+                    // The store, plus the read half of a reduction.
+                    acc += 1 + u64::from(matches!(a.kind, AssignKind::Reduce(_)));
+                }
+                est.instances = est.instances.saturating_add(mult);
+                est.accesses = est.accesses.saturating_add(mult.saturating_mul(acc));
+            }
+            Stmt::Loop(l) => {
+                let trips = (l.hi.eval(bind) - l.lo.eval(bind) + 1).max(0) as u64;
+                estimate_list(&l.body, mult.saturating_mul(trips), bind, est);
+            }
+        }
     }
 }
 
@@ -397,12 +453,17 @@ impl Ctx<'_> {
     ) -> Result<(), GcrError> {
         self.spend()?;
         let rhs = self.eval(&a.rhs, a.id, sink);
+        // Locate the target once; the (possible) reduction read and the
+        // store both reuse the same slot.
         let slot = self.locate(&a.lhs);
+        let traced = !a.lhs.subs.is_empty();
         let value = match a.kind {
             AssignKind::Normal => rhs,
             AssignKind::Reduce(op) => {
                 // The reduction reads its target first.
-                self.touch(&a.lhs, false, a.id, sink);
+                if traced {
+                    self.touch_at(slot.byte, &a.lhs, false, a.id, sink);
+                }
                 let old = self.mem[slot.elem];
                 match op {
                     ReduceOp::Sum => old + rhs,
@@ -412,7 +473,9 @@ impl Ctx<'_> {
             }
         };
         self.mem[slot.elem] = value;
-        self.touch(&a.lhs, true, a.id, sink);
+        if traced {
+            self.touch_at(slot.byte, &a.lhs, true, a.id, sink);
+        }
         self.stats.instances += 1;
         self.stats.flops += u64::from(self.op_counts[a.id.index()]);
         sink.end_instance(a.id);
@@ -426,7 +489,9 @@ impl Ctx<'_> {
             Expr::Var { var, offset } => (self.vars[var.index()] + offset) as f64,
             Expr::Read(r) => {
                 let slot = self.locate(r);
-                self.touch(r, false, stmt, sink);
+                if !r.subs.is_empty() {
+                    self.touch_at(slot.byte, r, false, stmt, sink);
+                }
                 self.mem[slot.elem]
             }
             Expr::Unary(op, x) => {
@@ -484,19 +549,24 @@ impl Ctx<'_> {
         Slot { byte: addr as u64, elem: addr / crate::layout::ELEM_BYTES }
     }
 
+    /// Reports one traced access at an already-located address. Callers
+    /// are responsible for skipping scalars (register-allocated, not
+    /// traced) — this keeps the hot path to a single `locate` per access.
     #[inline]
-    fn touch<S: TraceSink>(&mut self, r: &ArrayRef, is_write: bool, stmt: StmtId, sink: &mut S) {
-        // Scalars are register-allocated: not traced.
-        if r.subs.is_empty() {
-            return;
-        }
-        let slot = self.locate(r);
+    fn touch_at<S: TraceSink>(
+        &mut self,
+        addr: u64,
+        r: &ArrayRef,
+        is_write: bool,
+        stmt: StmtId,
+        sink: &mut S,
+    ) {
         if is_write {
             self.stats.writes += 1;
         } else {
             self.stats.reads += 1;
         }
-        sink.access(&AccessEvent { addr: slot.byte, array: r.array, ref_id: r.id, stmt, is_write });
+        sink.access(AccessEvent { addr, array: r.array, ref_id: r.id, stmt, is_write });
     }
 }
 
@@ -564,8 +634,8 @@ mod tests {
         let mut m = Machine::new(&p, ParamBinding::new(vec![5]));
         struct Cap(Vec<AccessEvent>);
         impl TraceSink for Cap {
-            fn access(&mut self, ev: &AccessEvent) {
-                self.0.push(*ev);
+            fn access(&mut self, ev: AccessEvent) {
+                self.0.push(ev);
             }
         }
         let mut sink = Cap(Vec::new());
@@ -632,6 +702,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn estimate_matches_unguarded_execution() {
+        let p = chain_prog();
+        let mut m = Machine::new(&p, ParamBinding::new(vec![10]));
+        let est = m.estimate();
+        let mut c = CountingSink::default();
+        m.run(&mut c);
+        assert_eq!(est.instances, m.stats().instances);
+        assert_eq!(est.accesses, m.stats().accesses());
+    }
+
+    #[test]
+    fn estimate_is_upper_bound_under_guards() {
+        let mut b = ProgramBuilder::new("g");
+        let n = b.param("N");
+        let a = b.array("A", &[LinExpr::param(n)]);
+        let i = b.var("i");
+        let s = b.assign(a, vec![Subscript::var(i, 0)], Expr::Const(1.0));
+        let l = match b.for_(i, LinExpr::konst(1), LinExpr::param(n), vec![s]) {
+            Stmt::Loop(mut l) => {
+                l.body[0].guard = Some(Range::consts(3, 4));
+                Stmt::Loop(l)
+            }
+            _ => unreachable!(),
+        };
+        b.push(l);
+        let p = b.finish();
+        let mut m = Machine::new(&p, ParamBinding::new(vec![8]));
+        let est = m.estimate();
+        m.run(&mut NullSink);
+        assert!(est.instances >= m.stats().instances);
+        assert!(est.accesses >= m.stats().accesses());
+        assert_eq!(est.instances, 8, "guard ignored: full trip count");
+        assert_eq!(m.stats().instances, 2, "guard executed: two iterations");
     }
 
     #[test]

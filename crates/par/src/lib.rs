@@ -1,0 +1,201 @@
+#![warn(missing_docs)]
+
+//! `gcr-par` — a hand-rolled scoped worker pool over [`std::thread`].
+//!
+//! The build container has no crates.io access, so the workspace cannot use
+//! rayon; this crate provides the small slice of it the experiment sweeps
+//! need (the same vendored-shim pattern as the in-workspace `proptest` and
+//! `criterion`):
+//!
+//! * [`scope_map`] — apply a function to every item of a slice on a pool of
+//!   scoped threads and collect the results **in input order**, regardless
+//!   of thread count or scheduling. Determinism is structural: each item's
+//!   result is written into its own slot, so parallel output is
+//!   byte-identical to serial output for any pure `f`.
+//! * [`par_for_each`] — same distribution, no results.
+//! * Panic propagation: a panic on any worker is re-raised on the calling
+//!   thread with its original payload once all workers have stopped.
+//!
+//! Thread count comes from the `GCR_THREADS` environment variable when set
+//! (a positive integer; `1` forces serial execution in the calling thread),
+//! otherwise from [`std::thread::available_parallelism`]. Work is
+//! distributed dynamically — an atomic next-item counter — so a sweep whose
+//! points vary wildly in cost (big apps next to small ones) still balances.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a sweep will use: the `GCR_THREADS` override
+/// when set and positive, otherwise the host's available parallelism.
+pub fn thread_count() -> usize {
+    match std::env::var("GCR_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("GCR_THREADS={v:?} ignored (want a positive integer)");
+                default_threads()
+            }
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `items` on [`thread_count`] workers; results in input
+/// order. See [`scope_map_with`].
+pub fn scope_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    scope_map_with(thread_count(), items, f)
+}
+
+/// Maps `f` over `items` on exactly `threads` workers (clamped to the item
+/// count; `threads <= 1` runs serially in the calling thread). Results are
+/// returned in input order. If any invocation of `f` panics, remaining
+/// items are abandoned and the panic is re-raised here with its original
+/// payload.
+pub fn scope_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.min(n);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    std::thread::scope(|s| {
+        let worker = || {
+            loop {
+                if poisoned.load(Ordering::Relaxed) {
+                    return Ok(());
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return Ok(());
+                }
+                match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                    Ok(r) => *slots[i].lock().unwrap() = Some(r),
+                    Err(payload) => {
+                        // Fail fast: stop handing out items, surface the
+                        // first payload (others are dropped).
+                        poisoned.store(true, Ordering::Relaxed);
+                        return Err(payload);
+                    }
+                }
+            }
+        };
+        let handles: Vec<_> = (0..threads).map(|_| s.spawn(worker)).collect();
+        for h in handles {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(payload)) | Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        }
+    });
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every non-panicked slot is filled"))
+        .collect()
+}
+
+/// Runs `f` on every item, in parallel, discarding results. Panics
+/// propagate as in [`scope_map`].
+pub fn par_for_each<T, F>(items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    scope_map(items, |t| f(t));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_in_input_order_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 128] {
+            let got = scope_map_with(threads, &items, |&x| x * x);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(scope_map_with(8, &empty, |&x| x).is_empty());
+        assert_eq!(scope_map_with(8, &[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_balances_dynamically() {
+        // Items with very different costs must all complete exactly once.
+        let done = AtomicU64::new(0);
+        let items: Vec<usize> = (0..40).collect();
+        let out = scope_map_with(4, &items, |&i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 40);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn panic_propagates_with_payload() {
+        let items: Vec<u32> = (0..32).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            scope_map_with(4, &items, |&x| {
+                if x == 13 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 13"), "payload lost: {msg:?}");
+    }
+
+    #[test]
+    fn serial_path_used_for_one_thread() {
+        // threads=1 must run on the calling thread (no spawn): observable
+        // via thread-local state.
+        thread_local! { static HITS: std::cell::Cell<u32> = const { std::cell::Cell::new(0) }; }
+        HITS.with(|h| h.set(0));
+        scope_map_with(1, &[1, 2, 3], |_| HITS.with(|h| h.set(h.get() + 1)));
+        assert_eq!(HITS.with(|h| h.get()), 3);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

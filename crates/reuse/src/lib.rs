@@ -38,7 +38,7 @@ pub mod profile;
 pub mod sampled;
 pub mod trace;
 
-pub use distance::{DistanceSink, Histogram, ReuseDistanceAnalyzer};
+pub use distance::{CapacityCounter, DistanceSink, Histogram, ReuseDistanceAnalyzer};
 pub use driven::reuse_driven_order;
 pub use evadable::{evadable_fraction, EvadableReport, RefStats};
 pub use predict::{miss_ratio_curve, predicted_miss_ratio, predicted_misses};

@@ -15,8 +15,12 @@ use crate::distance::Histogram;
 /// data items (at the histogram's measurement granularity).
 ///
 /// Exact when `capacity` is a power of two (histogram bins are log₂);
-/// otherwise the bin containing `capacity` is counted as missing
-/// (conservative over-estimate of at most one bin).
+/// otherwise the whole bin containing `capacity` is dropped by
+/// [`Histogram::at_least`], *under*-counting misses by up to that bin's
+/// population. For exact counts at arbitrary capacities record distances
+/// into a [`crate::distance::CapacityCounter`] (what the single-pass
+/// multi-capacity simulator in `gcr-cache` does) instead of predicting
+/// from a finished histogram.
 pub fn predicted_misses(hist: &Histogram, capacity: u64) -> u64 {
     hist.cold + hist.at_least(capacity)
 }

@@ -116,7 +116,8 @@ fn attribute(h: Option<&mut Histogram>, d: Option<u64>) {
 }
 
 impl TraceSink for ProfileSink {
-    fn access(&mut self, ev: &AccessEvent) {
+    #[inline]
+    fn access(&mut self, ev: AccessEvent) {
         let d = self.analyzer.access_ref(ev.addr, ev.ref_id);
         attribute(self.per_array.get_mut(ev.array.index()), d);
         let phase = self.phase_of.get(ev.stmt.index()).copied().unwrap_or(0);

@@ -56,7 +56,22 @@ pub struct TraceCapture {
 impl TraceCapture {
     /// New empty capture.
     pub fn new() -> Self {
-        let mut t = InstrTrace::default();
+        Self::with_capacity(0, 0)
+    }
+
+    /// New capture with room for `instances` instructions and `accesses`
+    /// addresses, reserved up front. Use the interpreter's static
+    /// [`gcr_exec::ExecEstimate`] so multi-million-access traces are built
+    /// without reallocation.
+    pub fn with_capacity(instances: u64, accesses: u64) -> Self {
+        let (ni, na) = (instances as usize, accesses as usize);
+        let mut t = InstrTrace {
+            addrs: Vec::with_capacity(na),
+            is_write: Vec::with_capacity(na),
+            refs: Vec::with_capacity(na),
+            starts: Vec::with_capacity(ni + 1),
+            stmts: Vec::with_capacity(ni),
+        };
         t.starts.push(0);
         TraceCapture { trace: t }
     }
@@ -68,7 +83,8 @@ impl TraceCapture {
 }
 
 impl TraceSink for TraceCapture {
-    fn access(&mut self, ev: &AccessEvent) {
+    #[inline]
+    fn access(&mut self, ev: AccessEvent) {
         self.trace.addrs.push(ev.addr >> 3); // element granularity
         self.trace.is_write.push(ev.is_write);
         self.trace.refs.push(ev.ref_id);

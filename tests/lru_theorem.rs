@@ -37,7 +37,7 @@ fn lru_theorem_on_program_traces() {
     use global_cache_reuse::exec::{AccessEvent, Machine, TraceSink};
     struct Cap(Vec<u64>);
     impl TraceSink for Cap {
-        fn access(&mut self, ev: &AccessEvent) {
+        fn access(&mut self, ev: AccessEvent) {
             self.0.push(ev.addr);
         }
     }
