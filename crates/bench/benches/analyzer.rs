@@ -1,13 +1,18 @@
 //! Microbenchmarks of the single-pass measurement path: the reuse-distance
 //! analyzer feeding a capacity sweep versus one dedicated LRU simulation
-//! per capacity, and trace capture with versus without the up-front
-//! capacity reservation from the interpreter's static estimate.
+//! per capacity, trace capture with versus without the up-front capacity
+//! reservation from the interpreter's static estimate, the tree-walking
+//! interpreter versus the compiled tape engine on the same program (which
+//! also covers the hoisted `guards` scratch buffer in the interpreter's
+//! loop entry), and the FNV hasher now used by the analyzer's maps against
+//! the std SipHash it replaced.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gcr_cache::{Cache, CacheConfig, CapacitySweepSink};
-use gcr_exec::{AccessEvent, Machine, TraceSink};
+use gcr_exec::{AccessEvent, ExecEngine, Machine, NullSink, TraceSink};
 use gcr_ir::{ArrayId, ParamBinding, RefId, StmtId};
-use gcr_reuse::TraceCapture;
+use gcr_reuse::{FnvBuildHasher, ReuseDistanceAnalyzer, TraceCapture};
+use std::collections::HashMap;
 use std::hint::black_box;
 
 /// Deterministic address stream mixing streaming and far reuse.
@@ -101,5 +106,79 @@ fn bench_trace_capture(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_capacity_sweep, bench_trace_capture);
+/// The tree-walking interpreter against the compiled tape engine on the
+/// same program, both with the null sink so the engine is all that is
+/// timed. The interpreter side also exercises the per-loop-entry `guards`
+/// scratch buffer hoisted into `Ctx`.
+fn bench_exec_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec_engine");
+    let prog = gcr_apps::adi::program();
+    let n = 96i64;
+    g.sample_size(10);
+    g.bench_function("interp", |b| {
+        b.iter(|| {
+            let mut m =
+                Machine::new(&prog, ParamBinding::new(vec![n])).with_engine(ExecEngine::Interp);
+            m.run(&mut NullSink);
+            black_box(m.stats().instances)
+        });
+    });
+    g.bench_function("compiled", |b| {
+        b.iter(|| {
+            let mut m =
+                Machine::new(&prog, ParamBinding::new(vec![n])).with_engine(ExecEngine::Compiled);
+            m.run(&mut NullSink);
+            black_box(m.stats().instances)
+        });
+    });
+    g.finish();
+}
+
+/// The reuse-distance analyzer on a mixed stream (its `last` map now uses
+/// FNV), plus the raw map workload — insert-or-update per access — under
+/// FNV and under the std SipHash it replaced, so the hasher swap's delta
+/// stays visible without reverting the analyzer.
+fn bench_analyzer_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analyzer_hashing");
+    let n = 100_000usize;
+    let addrs = addr_stream(n);
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    g.bench_function("distance_analyzer_fnv", |b| {
+        b.iter(|| {
+            let mut a = ReuseDistanceAnalyzer::new(1);
+            for &addr in &addrs {
+                black_box(a.access(addr));
+            }
+            black_box(a.distinct())
+        });
+    });
+    g.bench_function("map_fnv", |b| {
+        b.iter(|| {
+            let mut m: HashMap<u64, u64, FnvBuildHasher> = HashMap::default();
+            for (k, &addr) in addrs.iter().enumerate() {
+                m.insert(addr, k as u64);
+            }
+            black_box(m.len())
+        });
+    });
+    g.bench_function("map_siphash", |b| {
+        b.iter(|| {
+            let mut m: HashMap<u64, u64> = HashMap::new();
+            for (k, &addr) in addrs.iter().enumerate() {
+                m.insert(addr, k as u64);
+            }
+            black_box(m.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_capacity_sweep,
+    bench_trace_capture,
+    bench_exec_engines,
+    bench_analyzer_hashing
+);
 criterion_main!(benches);

@@ -33,7 +33,7 @@ use gcr_cli::Report;
 use gcr_core::checked::{apply_strategy_checked_traced, SafetyOptions};
 use gcr_core::pipeline::Strategy;
 use gcr_core::Tracer;
-use gcr_exec::{DataLayout, ExecStats, Machine};
+use gcr_exec::{DataLayout, ExecEngine, ExecStats, Machine};
 use gcr_ir::{GcrError, ParamBinding};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -269,6 +269,24 @@ pub fn measure_strategy_report_cached(
     size: i64,
     steps: usize,
 ) -> Result<(Measurement, Report, Vec<String>), GcrError> {
+    let engine = ExecEngine::from_env();
+    measure_strategy_report_cached_with(cache, generator, app, strategy, size, steps, engine)
+}
+
+/// [`measure_strategy_report_cached`] with an explicit execution engine.
+/// Both engines produce the identical measurement (the compiled tape is
+/// observationally equivalent to the interpreter), so the cache key is
+/// engine-agnostic — the engine only changes how long a cold miss takes.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_strategy_report_cached_with(
+    cache: &MeasureCache,
+    generator: &str,
+    app: &AppSpec,
+    strategy: Strategy,
+    size: i64,
+    steps: usize,
+    engine: ExecEngine,
+) -> Result<(Measurement, Report, Vec<String>), GcrError> {
     let (prog, bind) = (app.build)(size);
     let mut tracer = Tracer::enabled();
     let opt =
@@ -290,7 +308,8 @@ pub fn measure_strategy_report_cached(
                 bind,
                 layout,
                 Some(gcr_core::checked::DEFAULT_MAX_BYTES),
-            )?;
+            )?
+            .with_engine(engine);
             let mut sink = PhasedHierarchySink::new(
                 MemoryHierarchy::origin2000_scaled(app.l1_scale, app.l2_scale),
                 &opt.program,
@@ -353,9 +372,30 @@ pub fn run_jobs(
     generator: &str,
     jobs: &[SweepJob<'_>],
 ) -> Vec<JobResult> {
+    run_jobs_with(threads, cache, generator, jobs, ExecEngine::from_env())
+}
+
+/// [`run_jobs`] with an explicit execution engine for every job — how
+/// `sweep_bench` times a cold interpreter sweep against a cold compiled
+/// sweep without touching `GCR_EXEC` (env mutation is racy under threads).
+pub fn run_jobs_with(
+    threads: usize,
+    cache: &MeasureCache,
+    generator: &str,
+    jobs: &[SweepJob<'_>],
+    engine: ExecEngine,
+) -> Vec<JobResult> {
     let threads = if threads == 0 { gcr_par::thread_count() } else { threads };
     gcr_par::scope_map_with(threads, jobs, |job| {
-        measure_strategy_report_cached(cache, generator, job.app, job.strategy, job.size, job.steps)
+        measure_strategy_report_cached_with(
+            cache,
+            generator,
+            job.app,
+            job.strategy,
+            job.size,
+            job.steps,
+            engine,
+        )
     })
 }
 
@@ -429,6 +469,29 @@ mod tests {
             assert_eq!(s.0.label, p.0.label);
             assert_eq!(s.0.misses, p.0.misses);
             assert_eq!(s.0.cycles, p.0.cycles);
+        }
+    }
+
+    #[test]
+    fn engines_produce_identical_sweep_results() {
+        let apps = gcr_apps::evaluation_apps();
+        let (jobs, _) = small_jobs(&apps);
+        let interp_cache = MeasureCache::new();
+        let interp = run_jobs_with(2, &interp_cache, "t", &jobs, ExecEngine::Interp);
+        let compiled_cache = MeasureCache::new();
+        let compiled = run_jobs_with(2, &compiled_cache, "t", &jobs, ExecEngine::Compiled);
+        assert_eq!(interp.len(), compiled.len());
+        for (i, c) in interp.iter().zip(&compiled) {
+            let (i, c) = (i.as_ref().unwrap(), c.as_ref().unwrap());
+            assert_eq!(i.0.label, c.0.label);
+            assert_eq!(i.0.stats, c.0.stats);
+            assert_eq!(i.0.misses, c.0.misses);
+            assert_eq!(i.0.cycles.to_bits(), c.0.cycles.to_bits());
+            assert_eq!(
+                i.1.clone().normalized().to_json(),
+                c.1.clone().normalized().to_json(),
+                "engine choice must not leak into the report body"
+            );
         }
     }
 

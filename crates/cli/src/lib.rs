@@ -26,7 +26,7 @@ use gcr_core::checked::{apply_strategy_checked_traced, SafetyOptions};
 use gcr_core::pipeline::Strategy;
 use gcr_core::regroup::RegroupLevel;
 use gcr_core::Tracer;
-use gcr_exec::Machine;
+use gcr_exec::{ExecEngine, Machine};
 use gcr_ir::{GcrError, ParamBinding};
 pub use report::{Report, ReportSet, SweepTiming};
 use std::fmt::Write as _;
@@ -74,6 +74,9 @@ pub struct Options {
     pub fallback: bool,
     /// Interpreter fuel budget for oracle checks and `--simulate` runs.
     pub fuel: Option<u64>,
+    /// Execution engine for `--simulate`, `--profile`, `--reuse-hist` and
+    /// `--mrc` runs (`None` defers to `GCR_EXEC` / the compiled default).
+    pub exec: Option<ExecEngine>,
 }
 
 impl Default for Options {
@@ -98,6 +101,7 @@ impl Default for Options {
             strict: false,
             fallback: true,
             fuel: None,
+            exec: None,
         }
     }
 }
@@ -130,6 +134,10 @@ options:
                      stop at the last verified program instead
   --fuel <N>         interpreter step budget for semantic checks and
                      --simulate (terminates runaway programs)
+  --exec <engine>    execution engine for measurement runs: compiled
+                     (default; bytecode tape with affine address walkers)
+                     or interp (the reference tree-walking interpreter);
+                     overrides the GCR_EXEC environment variable
 ";
 
 fn usage_err(msg: String) -> GcrError {
@@ -203,6 +211,13 @@ pub fn parse_args(args: &[String]) -> Result<Options, GcrError> {
                         .parse()
                         .map_err(|e| usage_err(format!("bad --mrc value: {e}")))?,
                 )
+            }
+            "--exec" => {
+                o.exec = Some(match value(&mut it, "--exec")?.as_str() {
+                    "interp" => ExecEngine::Interp,
+                    "compiled" => ExecEngine::Compiled,
+                    other => return Err(usage_err(format!("unknown engine `{other}`\n{USAGE}"))),
+                });
             }
             "--strict" => o.strict = true,
             "--no-fallback" => o.fallback = false,
@@ -337,10 +352,11 @@ pub fn run_source_with_diagnostics(
         }
     }
     let fuel = o.fuel.unwrap_or(u64::MAX);
+    let engine = o.exec.unwrap_or_else(ExecEngine::from_env);
     if let Some(n) = o.simulate {
         let bind = binding_for(&prog, n);
         let layout = opt.layout(&bind);
-        let mut m = Machine::with_layout(&opt.program, bind, layout);
+        let mut m = Machine::with_layout(&opt.program, bind, layout).with_engine(engine);
         let mut sink = PhasedHierarchySink::new(
             MemoryHierarchy::origin2000_scaled(o.cache_scale.0, o.cache_scale.1),
             &opt.program,
@@ -392,7 +408,7 @@ pub fn run_source_with_diagnostics(
         let n = 64;
         let bind = binding_for(&prog, n);
         let layout = opt.layout(&bind);
-        let mut m = Machine::with_layout(&opt.program, bind, layout);
+        let mut m = Machine::with_layout(&opt.program, bind, layout).with_engine(engine);
         let mut sink = gcr_reuse::ProfileSink::elements(&opt.program);
         m.run_steps_guarded(&mut sink, o.steps, fuel)?;
         let section = report::ProfileSection { size: n, steps: o.steps, profile: sink.finish() };
@@ -404,7 +420,7 @@ pub fn run_source_with_diagnostics(
     if let Some(n) = o.reuse_hist {
         let bind = binding_for(&prog, n);
         let layout = opt.layout(&bind);
-        let mut m = Machine::with_layout(&opt.program, bind, layout);
+        let mut m = Machine::with_layout(&opt.program, bind, layout).with_engine(engine);
         let mut sink = gcr_reuse::DistanceSink::elements();
         m.run_guarded(&mut sink, fuel)?;
         let h = &sink.analyzer.hist;
@@ -417,7 +433,7 @@ pub fn run_source_with_diagnostics(
     if let Some(n) = o.mrc {
         let bind = binding_for(&prog, n);
         let layout = opt.layout(&bind);
-        let mut m = Machine::with_layout(&opt.program, bind, layout);
+        let mut m = Machine::with_layout(&opt.program, bind, layout).with_engine(engine);
         let mut sink = gcr_reuse::DistanceSink::elements();
         m.run_guarded(&mut sink, fuel)?;
         let _ = writeln!(
@@ -642,6 +658,31 @@ for i = 1, N {
         assert!(!o.fallback);
         assert_eq!(o.fuel, Some(5000));
         assert!(parse_args(&args(&["x.loop", "--fuel", "lots"])).is_err());
+    }
+
+    #[test]
+    fn parses_exec_flag() {
+        let o = parse_args(&args(&["x.loop", "--exec", "interp"])).unwrap();
+        assert_eq!(o.exec, Some(ExecEngine::Interp));
+        let o = parse_args(&args(&["x.loop", "--exec", "compiled"])).unwrap();
+        assert_eq!(o.exec, Some(ExecEngine::Compiled));
+        assert_eq!(parse_args(&args(&["x.loop"])).unwrap().exec, None);
+        assert!(parse_args(&args(&["x.loop", "--exec", "jit"])).is_err());
+        assert!(parse_args(&args(&["x.loop", "--exec"])).is_err());
+    }
+
+    #[test]
+    fn engines_agree_on_simulation_output() {
+        let mut interp =
+            parse_args(&args(&["-", "--no-emit", "--simulate", "96", "--exec", "interp"])).unwrap();
+        interp.input = "mem".into();
+        let mut compiled =
+            parse_args(&args(&["-", "--no-emit", "--simulate", "96", "--exec", "compiled"]))
+                .unwrap();
+        compiled.input = "mem".into();
+        let a = run_source(SRC, &interp).unwrap();
+        let b = run_source(SRC, &compiled).unwrap();
+        assert_eq!(a, b, "interp and compiled engines must report identical miss counts");
     }
 
     #[test]

@@ -16,11 +16,23 @@
 //! `base + Σ stride·(idx−1)` address function per array. The default layout
 //! places arrays sequentially in column-major (Fortran) order; regrouped
 //! layouts interleave strides (see `gcr-core::regroup`).
+//!
+//! Two engines produce that trace: the tree-walking interpreter (the
+//! reference semantics) and the compiled tape of [`mod@compile`]/[`tape`],
+//! which lowers a `(Program, ParamBinding, DataLayout)` triple once into a
+//! flat instruction stream with affine address walkers and guard-resolved
+//! iteration segments. They are observationally identical; the engine is
+//! selected per [`machine::Machine`] (explicitly, or via `GCR_EXEC`), and
+//! the compiled engine is the default for all measurement runs.
 
+pub mod compile;
 pub mod layout;
 pub mod machine;
+pub mod tape;
 
+pub use compile::compile;
 pub use layout::{ArrayLayout, DataLayout};
 pub use machine::{
-    AccessEvent, CountingSink, ExecEstimate, ExecStats, Machine, NullSink, TraceSink,
+    AccessEvent, CountingSink, ExecEngine, ExecEstimate, ExecStats, Machine, NullSink, TraceSink,
 };
+pub use tape::CompiledProgram;

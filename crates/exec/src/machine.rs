@@ -107,6 +107,37 @@ pub struct ExecEstimate {
     pub accesses: u64,
 }
 
+/// Which execution engine a [`Machine`] runs.
+///
+/// Both engines are observationally identical — same access-event stream,
+/// bit-identical `f64` memory image, same statistics and fuel accounting —
+/// which the differential test suite enforces. The interpreter is the
+/// reference semantics; the compiled tape is the fast path for cold
+/// measurement runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecEngine {
+    /// The tree-walking interpreter (reference semantics).
+    Interp,
+    /// The compiled tape of [`mod@crate::compile`]: flat instruction stream,
+    /// affine address walkers, guard-resolved iteration segments.
+    #[default]
+    Compiled,
+}
+
+impl ExecEngine {
+    /// Engine selected by the `GCR_EXEC` environment variable: `interp`
+    /// forces the tree walker, anything else (including unset) selects the
+    /// compiled engine — the default for all sweeps. Tests should pass the
+    /// engine explicitly via [`Machine::with_engine`] instead; environment
+    /// variables are racy to set from a multi-threaded test harness.
+    pub fn from_env() -> Self {
+        match std::env::var("GCR_EXEC") {
+            Ok(v) if v == "interp" => ExecEngine::Interp,
+            _ => ExecEngine::Compiled,
+        }
+    }
+}
+
 /// The interpreter. One `Machine` owns the memory image; `run` can be
 /// called repeatedly (e.g. once per time step).
 pub struct Machine<'p> {
@@ -118,6 +149,10 @@ pub struct Machine<'p> {
     vars: Vec<i64>,
     op_counts: Vec<u32>,
     stats: ExecStats,
+    engine: ExecEngine,
+    /// Lazily compiled tape: `None` until first needed, `Some(None)` when
+    /// the program is outside the compiler's domain (interpreter fallback).
+    compiled: Option<Option<crate::tape::CompiledProgram>>,
 }
 
 impl<'p> Machine<'p> {
@@ -164,9 +199,43 @@ impl<'p> Machine<'p> {
             vars: vec![0; prog.vars.len()],
             op_counts,
             stats: ExecStats::default(),
+            engine: ExecEngine::from_env(),
+            compiled: None,
         };
         m.init_memory();
         m
+    }
+
+    /// Selects the execution engine, consuming style (for construction
+    /// chains). The compiled tape is cached across engine switches — it
+    /// depends only on the program, binding, and layout.
+    pub fn with_engine(mut self, engine: ExecEngine) -> Self {
+        self.set_engine(engine);
+        self
+    }
+
+    /// Selects the execution engine in place.
+    pub fn set_engine(&mut self, engine: ExecEngine) {
+        self.engine = engine;
+    }
+
+    /// Engine currently selected.
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
+    }
+
+    /// True when this machine's program compiled to the tape engine (after
+    /// forcing compilation). A `false` under [`ExecEngine::Compiled`]
+    /// means runs silently use the interpreter fallback.
+    pub fn compiles(&mut self) -> bool {
+        self.ensure_compiled();
+        matches!(self.compiled, Some(Some(_)))
+    }
+
+    fn ensure_compiled(&mut self) {
+        if self.compiled.is_none() {
+            self.compiled = Some(crate::compile::compile(self.prog, &self.binding, &self.layout));
+        }
     }
 
     /// Fills memory with a deterministic per-(array, logical element)
@@ -237,6 +306,14 @@ impl<'p> Machine<'p> {
         steps: usize,
         fuel: u64,
     ) -> Result<(), GcrError> {
+        if self.engine == ExecEngine::Compiled {
+            self.ensure_compiled();
+            if let Some(Some(cp)) = self.compiled.as_ref() {
+                return cp.run(&mut self.mem, &mut self.vars, &mut self.stats, sink, steps, fuel);
+            }
+            // Outside the compiler's domain: fall through to the reference
+            // interpreter, which is total.
+        }
         // Split borrows: body is part of prog (shared), the rest is mutable.
         let body = &self.prog.body;
         let mut ctx = Ctx {
@@ -246,6 +323,7 @@ impl<'p> Machine<'p> {
             vars: &mut self.vars,
             op_counts: &self.op_counts,
             stats: &mut self.stats,
+            guards: Vec::new(),
             fuel,
             fuel_limit: fuel,
         };
@@ -373,6 +451,10 @@ struct Ctx<'a> {
     vars: &'a mut Vec<i64>,
     op_counts: &'a [u32],
     stats: &'a mut ExecStats,
+    /// Guard-range scratch, used as a stack across nested `run_loop`
+    /// calls. Hoisted here so entering a loop — which happens once per
+    /// *enclosing* iteration — allocates nothing after the first entry.
+    guards: Vec<Option<(i64, i64)>>,
     fuel: u64,
     fuel_limit: u64,
 }
@@ -415,34 +497,35 @@ impl Ctx<'_> {
         let hi = l.hi.eval(self.binding);
         // Guards are loop-invariant; outer-variable entries depend only on
         // enclosing loop variables, which are fixed for this execution of
-        // the loop — evaluate both once.
-        let guards: Vec<Option<(i64, i64)>> = l
-            .body
-            .iter()
-            .map(|gs| {
-                // Conjunction over outer entries: inactive => None-like skip.
-                for (v, r) in &gs.outer {
-                    let (rlo, rhi) = r.eval(self.binding);
-                    let val = self.vars[v.index()];
-                    if val < rlo || val > rhi {
-                        return Some((1, 0)); // empty range: never active
-                    }
+        // the loop — evaluate both once, into the shared scratch stack
+        // (recursion pushes above `base`, so this frame's entries stay put).
+        let base = self.guards.len();
+        for gs in &l.body {
+            let mut g = None;
+            // Conjunction over outer entries: inactive => never-active range.
+            for (v, r) in &gs.outer {
+                let (rlo, rhi) = r.eval(self.binding);
+                let val = self.vars[v.index()];
+                if val < rlo || val > rhi {
+                    g = Some(Some((1, 0))); // empty range: never active
+                    break;
                 }
-                gs.guard.as_ref().map(|g| g.eval(self.binding))
-            })
-            .collect();
+            }
+            self.guards.push(g.unwrap_or_else(|| gs.guard.as_ref().map(|r| r.eval(self.binding))));
+        }
         for t in lo..=hi {
             self.spend()?;
             self.vars[l.var.index()] = t;
-            for (gs, g) in l.body.iter().zip(&guards) {
-                if let Some((glo, ghi)) = g {
-                    if t < *glo || t > *ghi {
+            for (k, gs) in l.body.iter().enumerate() {
+                if let Some((glo, ghi)) = self.guards[base + k] {
+                    if t < glo || t > ghi {
                         continue;
                     }
                 }
                 self.run_stmt(&gs.stmt, sink)?;
             }
         }
+        self.guards.truncate(base);
         Ok(())
     }
 
@@ -575,11 +658,12 @@ struct Slot {
     elem: usize,
 }
 
-/// Fixed interpretations of the opaque intrinsics (`f`, `g`, … in the
-/// paper's examples): affine functions of the argument sum, cheap and
-/// deterministic.
-fn intrinsic(name: &str, s: f64) -> f64 {
-    let (scale, bias) = match name {
+/// Affine coefficients of the opaque intrinsics (`f`, `g`, … in the
+/// paper's examples): `(scale, bias)` applied to the argument sum. Shared
+/// with the compiled engine's `Intrinsic` op so both evaluate the exact
+/// same expression.
+pub(crate) fn intrinsic_coeffs(name: &str) -> (f64, f64) {
+    match name {
         "f" => (0.5, 1.0),
         "g" => (0.3, 2.0),
         "h" => (0.7, -1.0),
@@ -590,7 +674,13 @@ fn intrinsic(name: &str, s: f64) -> f64 {
         "flux" => (0.4, 0.2),
         "wave" => (0.25, 0.5),
         _ => (1.0, 0.0),
-    };
+    }
+}
+
+/// Fixed interpretations of the intrinsics: affine functions of the
+/// argument sum, cheap and deterministic.
+fn intrinsic(name: &str, s: f64) -> f64 {
+    let (scale, bias) = intrinsic_coeffs(name);
     scale * s + bias
 }
 

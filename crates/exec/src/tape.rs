@@ -1,0 +1,645 @@
+//! The compiled execution engine: flat instruction tapes, affine address
+//! walkers, and guard-resolved iteration segments.
+//!
+//! The tree-walking interpreter in [`crate::machine`] pays three taxes per
+//! dynamic statement instance: recursive `Expr` dispatch, a fresh
+//! `base + Σ stride·(i−1)` multiply chain per array access, and a guard
+//! check per member per iteration. All three are static properties of a
+//! `(Program, ParamBinding, DataLayout)` triple, so [`mod@crate::compile`]
+//! lowers them away once:
+//!
+//! * every assignment's right-hand side becomes a linear `Op` tape over a
+//!   small register file — destination registers are the expression-tree
+//!   depths, assigned at lowering time, so evaluation is a single loop with
+//!   no runtime stack. Leaf-then-combine pairs are fused into single
+//!   superinstructions (`Op::ReadAdd`, `Op::ConstMul`, …), halving the
+//!   dispatch count on stencil right-hand sides without reordering any
+//!   floating-point operation;
+//! * every static array reference becomes a `Walker`: an affine address
+//!   re-based at loop entry and advanced by a constant byte stride per
+//!   iteration, replacing the subscript multiply chain in `locate()`;
+//! * every loop body is split into `Segment`s — maximal sub-intervals of
+//!   the iteration range on which the *set* of guard-active members is
+//!   constant — so the per-iteration loop runs guard-check-free (the
+//!   compile-time analogue of the paper's boundary splitting). Segments
+//!   whose members are all unconditional statements additionally get a
+//!   *flat tape*: the statements' ops concatenated with `Op::Store`
+//!   terminators, so one iteration is a single op-dispatch loop. Because a
+//!   flat segment's fuel and statistics per iteration are compile-time
+//!   constants, the executor charges them in bulk up front — the fast path
+//!   is only taken when the fuel budget provably cannot run out inside the
+//!   segment, so per-instance accounting is unobservable.
+//!
+//! The engine is observationally identical to the interpreter: same
+//! [`AccessEvent`] stream (order and fields), bit-identical `f64` memory
+//! image (same FP evaluation order, including the division guard and the
+//! intrinsic call lowering), same [`ExecStats`], and the same fuel
+//! accounting — one unit per loop iteration plus one per assignment
+//! instance, spent in the same order. Segments in which no member can run
+//! spend their fuel in bulk, which is indistinguishable from per-iteration
+//! spending because empty iterations emit no events.
+
+use crate::layout::ELEM_BYTES;
+use crate::machine::{AccessEvent, ExecStats, TraceSink};
+use gcr_ir::{ArrayId, GcrError, ReduceOp, RefId, Resource, StmtId};
+
+/// One register-machine instruction. `d` is the destination register,
+/// assigned at lowering time from the expression-tree depth. Binary ops
+/// combine `regs[d]` (left operand) with `regs[d+1]` (right operand) into
+/// `regs[d]`; unary ops, the fused leaf-combine ops, and the intrinsic
+/// update `regs[d]` in place.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Op {
+    /// `regs[d] = v` (literal constants and folded `Lin` expressions).
+    Const { d: u16, v: f64 },
+    /// `regs[d] = (vars[slot] + offset) as f64`.
+    Var { d: u16, slot: u16, offset: i64 },
+    /// Traced array read through walker `w`: emits the access event, then
+    /// `regs[d] = mem[addr/8]`.
+    Read { d: u16, w: u32, stmt: StmtId },
+    /// Untraced (scalar) read through walker `w`.
+    ReadScalar { d: u16, w: u32 },
+    /// `regs[d] = -regs[d]`.
+    Neg { d: u16 },
+    /// `regs[d] = regs[d].abs().sqrt()` (the interpreter's total sqrt).
+    Sqrt { d: u16 },
+    /// `regs[d] = regs[d].abs()`.
+    Abs { d: u16 },
+    /// `regs[d] = regs[d] + regs[d+1]`.
+    Add { d: u16 },
+    /// `regs[d] = regs[d] - regs[d+1]`.
+    Sub { d: u16 },
+    /// `regs[d] = regs[d] * regs[d+1]`.
+    Mul { d: u16 },
+    /// Guarded division: `regs[d]` unchanged when `|regs[d+1]| < 1e-300`.
+    Div { d: u16 },
+    /// `regs[d] = regs[d].max(regs[d+1])`.
+    Max { d: u16 },
+    /// `regs[d] = regs[d].min(regs[d+1])`.
+    Min { d: u16 },
+    /// `regs[d] = scale * regs[d] + bias` (intrinsic call, argument sum
+    /// already accumulated in `regs[d]` by the lowering).
+    Intrinsic { d: u16, scale: f64, bias: f64 },
+    /// Fused traced read + combine: `regs[d] = regs[d] + read(w)`.
+    ReadAdd { d: u16, w: u32, stmt: StmtId },
+    /// `regs[d] = regs[d] - read(w)`.
+    ReadSub { d: u16, w: u32, stmt: StmtId },
+    /// `regs[d] = regs[d] * read(w)`.
+    ReadMul { d: u16, w: u32, stmt: StmtId },
+    /// `regs[d] = regs[d].max(read(w))`.
+    ReadMax { d: u16, w: u32, stmt: StmtId },
+    /// `regs[d] = regs[d].min(read(w))`.
+    ReadMin { d: u16, w: u32, stmt: StmtId },
+    /// Fused constant combine: `regs[d] = regs[d] + v`.
+    ConstAdd { d: u16, v: f64 },
+    /// `regs[d] = regs[d] - v`.
+    ConstSub { d: u16, v: f64 },
+    /// `regs[d] = regs[d] * v`.
+    ConstMul { d: u16, v: f64 },
+    /// `regs[d] = regs[d] / v` — emitted only when `|v| >= 1e-300`, so the
+    /// interpreter's division guard is resolved at compile time.
+    ConstDiv { d: u16, v: f64 },
+    /// `regs[d] = regs[d].max(v)`.
+    ConstMax { d: u16, v: f64 },
+    /// `regs[d] = regs[d].min(v)`.
+    ConstMin { d: u16, v: f64 },
+    /// Flat-tape statement terminator: performs statement `si`'s store
+    /// (reduce read, memory write, write event, `end_instance`) with no
+    /// fuel or statistics updates — the flat path accounts those in bulk.
+    Store { si: u32 },
+}
+
+/// Affine address walker for one static array reference. The byte address
+/// is `konst + Σ stride·vars[slot]`, computed once at loop entry (priming)
+/// and advanced incrementally by the innermost loop's stride afterwards.
+#[derive(Clone, Debug)]
+pub(crate) struct Walker {
+    /// Layout base plus all invariant-subscript and offset contributions.
+    pub konst: i64,
+    /// `(loop-variable slot, byte stride)` terms, duplicates merged.
+    pub terms: Vec<(u16, i64)>,
+}
+
+/// Event metadata of one walker, split from `Walker` so the per-access
+/// hot path loads a compact struct instead of a `Vec`-bearing one.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EvMeta {
+    /// Array accessed (reported in events).
+    pub array: ArrayId,
+    /// Static reference id (reported in events).
+    pub ref_id: RefId,
+}
+
+/// Per-walker run-time state: the current byte address packed next to the
+/// event metadata, so one bounds check and one cache line serve both.
+#[derive(Clone, Copy)]
+struct WState {
+    cur: i64,
+    array: ArrayId,
+    ref_id: RefId,
+}
+
+/// Register-file size. Expression depth is bounded by this at compile
+/// time; the executor masks indices with `REG_MASK`, which removes every
+/// register bounds check without changing any in-domain behaviour.
+pub(crate) const MAX_REGS: usize = 32;
+const REG_MASK: usize = MAX_REGS - 1;
+
+/// One compiled assignment statement.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CStmt {
+    /// Right-hand-side tape: `ops[start..end]`, result in `regs[0]`.
+    pub ops: (u32, u32),
+    /// Walker of the left-hand-side reference.
+    pub walker: u32,
+    /// False for scalar targets (not traced).
+    pub traced: bool,
+    /// `Some` for reductions (which read their target first).
+    pub reduce: Option<ReduceOp>,
+    /// Static statement id (reported in events).
+    pub id: StmtId,
+    /// Flop count charged per instance (rhs ops + 1 for the store).
+    pub flops: u32,
+}
+
+/// What a segment item executes.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ItemKind {
+    /// Index into [`CompiledProgram::stmts`].
+    Stmt(u32),
+    /// Index into [`CompiledProgram::loops`].
+    Loop(u32),
+}
+
+/// One member of a segment, in source order.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Item {
+    /// Statement or nested loop.
+    pub kind: ItemKind,
+    /// Outer-condition bit; item is skipped when `req & inactive != 0`.
+    /// Zero for unconditional members.
+    pub req: u64,
+}
+
+/// A maximal sub-interval of a loop's range on which the set of
+/// guard-active members is constant.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Segment {
+    /// First iteration (inclusive).
+    pub lo: i64,
+    /// Last iteration (inclusive).
+    pub hi: i64,
+    /// Members active on this interval: `items[start..end]`.
+    pub items: (u32, u32),
+    /// Walkers to re-base at segment entry: `prime_list[start..end]`.
+    pub prime: (u32, u32),
+    /// Per-iteration walker increments: `advance_list[start..end]`.
+    pub advance: (u32, u32),
+    /// Flat tape (`ops[start..end]`) when every item is an unconditional
+    /// statement; `None` keeps the item-walking path.
+    pub flat: Option<(u32, u32)>,
+    /// Fuel per iteration of the flat tape: 1 + statement count.
+    pub iter_fuel: u64,
+    /// Statistic deltas per iteration of the flat tape.
+    pub iter_instances: u64,
+    /// Flops per iteration.
+    pub iter_flops: u64,
+    /// Traced reads per iteration.
+    pub iter_reads: u64,
+    /// Traced writes per iteration.
+    pub iter_writes: u64,
+}
+
+/// One compiled loop.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CLoop {
+    /// Loop-variable slot.
+    pub var: u16,
+    /// Guard-resolved iteration segments: `segments[start..end]`. Together
+    /// they cover the full `lo..=hi` range exactly.
+    pub segments: (u32, u32),
+    /// Outer-condition checks evaluated at loop entry: `checks[start..end]`.
+    pub checks: (u32, u32),
+}
+
+/// One outer-variable condition, evaluated once at loop entry. A failing
+/// check sets `bit` in the loop's inactive mask.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct OuterCheck {
+    /// Mask bit of the member this check belongs to.
+    pub bit: u64,
+    /// Enclosing loop-variable slot to test.
+    pub slot: u16,
+    /// Lower bound (inclusive).
+    pub lo: i64,
+    /// Upper bound (inclusive).
+    pub hi: i64,
+}
+
+/// A program lowered once against a `(ParamBinding, DataLayout)` pair.
+///
+/// Produced by [`crate::compile::compile`]; executed by
+/// [`crate::machine::Machine`] when its engine is
+/// [`crate::machine::ExecEngine::Compiled`]. All loop bounds, guard
+/// intervals, and address strides are resolved to constants; only loop
+/// variables and the register file exist at run time.
+#[derive(Clone, Debug, Default)]
+pub struct CompiledProgram {
+    pub(crate) ops: Vec<Op>,
+    pub(crate) stmts: Vec<CStmt>,
+    pub(crate) walkers: Vec<Walker>,
+    pub(crate) ev: Vec<EvMeta>,
+    pub(crate) items: Vec<Item>,
+    pub(crate) segments: Vec<Segment>,
+    pub(crate) loops: Vec<CLoop>,
+    pub(crate) checks: Vec<OuterCheck>,
+    pub(crate) prime_list: Vec<u32>,
+    pub(crate) advance_list: Vec<(u32, i64)>,
+    pub(crate) top_items: (u32, u32),
+    pub(crate) top_prime: (u32, u32),
+    pub(crate) max_regs: usize,
+}
+
+impl CompiledProgram {
+    /// Number of tape instructions (statement tapes plus flat segment
+    /// tapes).
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of address walkers (static array references).
+    pub fn walker_count(&self) -> usize {
+        self.walkers.len()
+    }
+
+    /// Number of guard-resolved iteration segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Executes the body `steps` times against `mem`/`vars`, sharing one
+    /// fuel budget, streaming accesses to `sink`. Mirrors the
+    /// interpreter's `run_fueled` observably.
+    pub(crate) fn run<S: TraceSink>(
+        &self,
+        mem: &mut [f64],
+        vars: &mut [i64],
+        stats: &mut ExecStats,
+        sink: &mut S,
+        steps: usize,
+        fuel: u64,
+    ) -> Result<(), GcrError> {
+        let mut ex = Exec {
+            cp: self,
+            mem,
+            vars,
+            regs: [0.0; MAX_REGS],
+            wk: self
+                .walkers
+                .iter()
+                .zip(&self.ev)
+                .map(|(_, m)| WState { cur: 0, array: m.array, ref_id: m.ref_id })
+                .collect(),
+            instances: 0,
+            flops: 0,
+            reads: 0,
+            writes: 0,
+            fuel,
+            fuel_limit: fuel,
+        };
+        let mut result = Ok(());
+        for _ in 0..steps {
+            ex.prime(self.top_prime);
+            if let Err(e) = ex.run_items(self.top_items, 0, sink) {
+                result = Err(e);
+                break;
+            }
+        }
+        // Counters live in registers during the run; flush them even on a
+        // fuel error so partial-run statistics match the interpreter's.
+        stats.instances += ex.instances;
+        stats.flops += ex.flops;
+        stats.reads += ex.reads;
+        stats.writes += ex.writes;
+        result
+    }
+}
+
+/// Run-time state of one compiled execution. Statistics are owned
+/// counters, flushed to the machine's [`ExecStats`] when the run ends.
+struct Exec<'a> {
+    cp: &'a CompiledProgram,
+    mem: &'a mut [f64],
+    vars: &'a mut [i64],
+    /// Register file (expression scratch).
+    regs: [f64; MAX_REGS],
+    /// Per-walker state: current byte address plus event metadata.
+    wk: Vec<WState>,
+    instances: u64,
+    flops: u64,
+    reads: u64,
+    writes: u64,
+    fuel: u64,
+    fuel_limit: u64,
+}
+
+impl Exec<'_> {
+    #[inline]
+    fn out_of_fuel(&self) -> GcrError {
+        GcrError::BudgetExceeded { resource: Resource::InterpreterFuel, limit: self.fuel_limit }
+    }
+
+    /// Spends one fuel unit (same accounting as the interpreter).
+    #[inline]
+    fn spend(&mut self) -> Result<(), GcrError> {
+        if self.fuel == 0 {
+            return Err(self.out_of_fuel());
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    /// Spends `n` units at once for iterations that execute nothing.
+    /// Observably identical to `n` single spends: no events separate them,
+    /// and exhaustion anywhere inside the run produces the same error.
+    #[inline]
+    fn spend_bulk(&mut self, n: u64) -> Result<(), GcrError> {
+        if self.fuel < n {
+            return Err(self.out_of_fuel());
+        }
+        self.fuel -= n;
+        Ok(())
+    }
+
+    /// Re-bases a range of walkers from the current loop variables.
+    fn prime(&mut self, range: (u32, u32)) {
+        let cp = self.cp;
+        for &w in &cp.prime_list[range.0 as usize..range.1 as usize] {
+            let info = &cp.walkers[w as usize];
+            let mut addr = info.konst;
+            for &(slot, stride) in &info.terms {
+                addr += stride * self.vars[slot as usize];
+            }
+            self.wk[w as usize].cur = addr;
+        }
+    }
+
+    fn run_items<S: TraceSink>(
+        &mut self,
+        range: (u32, u32),
+        inactive: u64,
+        sink: &mut S,
+    ) -> Result<(), GcrError> {
+        let cp = self.cp;
+        for it in &cp.items[range.0 as usize..range.1 as usize] {
+            if it.req & inactive != 0 {
+                continue;
+            }
+            match it.kind {
+                ItemKind::Stmt(si) => self.exec_stmt(si, sink)?,
+                ItemKind::Loop(li) => self.run_loop(li, sink)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn run_loop<S: TraceSink>(&mut self, li: u32, sink: &mut S) -> Result<(), GcrError> {
+        let cp = self.cp;
+        let l = &cp.loops[li as usize];
+        // Outer conditions are loop-invariant: evaluate once into a mask,
+        // at the same point the interpreter evaluates its guard vector.
+        let mut inactive = 0u64;
+        for c in &cp.checks[l.checks.0 as usize..l.checks.1 as usize] {
+            let v = self.vars[c.slot as usize];
+            if v < c.lo || v > c.hi {
+                inactive |= c.bit;
+            }
+        }
+        for s in l.segments.0..l.segments.1 {
+            let seg = &cp.segments[s as usize];
+            // Fast path: a flat tape whose per-iteration fuel and stats
+            // are static, and enough fuel that exhaustion inside the
+            // segment is impossible — charge everything up front and run
+            // the iterations with no accounting at all.
+            if let Some(fr) = seg.flat {
+                let trips = (seg.hi - seg.lo + 1) as u64;
+                let cost = trips * seg.iter_fuel;
+                if self.fuel >= cost {
+                    self.fuel -= cost;
+                    self.instances += trips * seg.iter_instances;
+                    self.flops += trips * seg.iter_flops;
+                    self.reads += trips * seg.iter_reads;
+                    self.writes += trips * seg.iter_writes;
+                    self.vars[l.var as usize] = seg.lo;
+                    self.prime(seg.prime);
+                    let advance = &cp.advance_list[seg.advance.0 as usize..seg.advance.1 as usize];
+                    for t in seg.lo..=seg.hi {
+                        self.vars[l.var as usize] = t;
+                        self.exec_ops::<false, S>(fr, sink);
+                        for &(w, stride) in advance {
+                            self.wk[w as usize].cur += stride;
+                        }
+                    }
+                    continue;
+                }
+            }
+            let items = &cp.items[seg.items.0 as usize..seg.items.1 as usize];
+            if !items.iter().any(|it| it.req & inactive == 0) {
+                // Nothing can run here: charge the loop-iteration fuel and
+                // move on without touching walkers or variables.
+                self.spend_bulk((seg.hi - seg.lo + 1) as u64)?;
+                continue;
+            }
+            self.vars[l.var as usize] = seg.lo;
+            self.prime(seg.prime);
+            let advance = &cp.advance_list[seg.advance.0 as usize..seg.advance.1 as usize];
+            for t in seg.lo..=seg.hi {
+                self.spend()?;
+                self.vars[l.var as usize] = t;
+                self.run_items(seg.items, inactive, sink)?;
+                for &(w, stride) in advance {
+                    self.wk[w as usize].cur += stride;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits the event for a traced read through walker `w` and returns
+    /// the value. `COUNT` selects per-access statistics (the exact path);
+    /// the flat path accounts statistics in bulk per segment.
+    #[inline(always)]
+    fn traced_read<const COUNT: bool, S: TraceSink>(
+        &mut self,
+        w: u32,
+        stmt: StmtId,
+        sink: &mut S,
+    ) -> f64 {
+        let st = self.wk[w as usize];
+        if COUNT {
+            self.reads += 1;
+        }
+        sink.access(AccessEvent {
+            addr: st.cur as u64,
+            array: st.array,
+            ref_id: st.ref_id,
+            stmt,
+            is_write: false,
+        });
+        self.mem[st.cur as usize / ELEM_BYTES]
+    }
+
+    /// Runs one op range. Infallible: fuel is spent by the callers
+    /// (per-instance on the exact path, in bulk on the flat path).
+    #[inline(always)]
+    fn exec_ops<const COUNT: bool, S: TraceSink>(&mut self, range: (u32, u32), sink: &mut S) {
+        let cp = self.cp;
+        for op in &cp.ops[range.0 as usize..range.1 as usize] {
+            match *op {
+                Op::Const { d, v } => self.regs[d as usize & REG_MASK] = v,
+                Op::Var { d, slot, offset } => {
+                    self.regs[d as usize & REG_MASK] = (self.vars[slot as usize] + offset) as f64;
+                }
+                Op::Read { d, w, stmt } => {
+                    self.regs[d as usize & REG_MASK] = self.traced_read::<COUNT, S>(w, stmt, sink);
+                }
+                Op::ReadScalar { d, w } => {
+                    self.regs[d as usize & REG_MASK] =
+                        self.mem[self.wk[w as usize].cur as usize / ELEM_BYTES];
+                }
+                Op::Neg { d } => {
+                    self.regs[d as usize & REG_MASK] = -self.regs[d as usize & REG_MASK]
+                }
+                Op::Sqrt { d } => {
+                    self.regs[d as usize & REG_MASK] =
+                        self.regs[d as usize & REG_MASK].abs().sqrt();
+                }
+                Op::Abs { d } => {
+                    self.regs[d as usize & REG_MASK] = self.regs[d as usize & REG_MASK].abs()
+                }
+                Op::Add { d } => {
+                    self.regs[d as usize & REG_MASK] += self.regs[(d as usize + 1) & REG_MASK];
+                }
+                Op::Sub { d } => {
+                    self.regs[d as usize & REG_MASK] -= self.regs[(d as usize + 1) & REG_MASK];
+                }
+                Op::Mul { d } => {
+                    self.regs[d as usize & REG_MASK] *= self.regs[(d as usize + 1) & REG_MASK];
+                }
+                Op::Div { d } => {
+                    // Mirrors the interpreter's guard exactly, including
+                    // its NaN behaviour (`NaN.abs() < 1e-300` is false, so
+                    // a NaN divisor divides).
+                    let a = self.regs[d as usize & REG_MASK];
+                    let b = self.regs[(d as usize + 1) & REG_MASK];
+                    self.regs[d as usize & REG_MASK] = if b.abs() < 1e-300 { a } else { a / b };
+                }
+                Op::Max { d } => {
+                    self.regs[d as usize & REG_MASK] = self.regs[d as usize & REG_MASK]
+                        .max(self.regs[(d as usize + 1) & REG_MASK]);
+                }
+                Op::Min { d } => {
+                    self.regs[d as usize & REG_MASK] = self.regs[d as usize & REG_MASK]
+                        .min(self.regs[(d as usize + 1) & REG_MASK]);
+                }
+                Op::Intrinsic { d, scale, bias } => {
+                    self.regs[d as usize & REG_MASK] =
+                        scale * self.regs[d as usize & REG_MASK] + bias;
+                }
+                Op::ReadAdd { d, w, stmt } => {
+                    self.regs[d as usize & REG_MASK] += self.traced_read::<COUNT, S>(w, stmt, sink);
+                }
+                Op::ReadSub { d, w, stmt } => {
+                    self.regs[d as usize & REG_MASK] -= self.traced_read::<COUNT, S>(w, stmt, sink);
+                }
+                Op::ReadMul { d, w, stmt } => {
+                    self.regs[d as usize & REG_MASK] *= self.traced_read::<COUNT, S>(w, stmt, sink);
+                }
+                Op::ReadMax { d, w, stmt } => {
+                    let v = self.traced_read::<COUNT, S>(w, stmt, sink);
+                    self.regs[d as usize & REG_MASK] = self.regs[d as usize & REG_MASK].max(v);
+                }
+                Op::ReadMin { d, w, stmt } => {
+                    let v = self.traced_read::<COUNT, S>(w, stmt, sink);
+                    self.regs[d as usize & REG_MASK] = self.regs[d as usize & REG_MASK].min(v);
+                }
+                Op::ConstAdd { d, v } => self.regs[d as usize & REG_MASK] += v,
+                Op::ConstSub { d, v } => self.regs[d as usize & REG_MASK] -= v,
+                Op::ConstMul { d, v } => self.regs[d as usize & REG_MASK] *= v,
+                Op::ConstDiv { d, v } => self.regs[d as usize & REG_MASK] /= v,
+                Op::ConstMax { d, v } => {
+                    self.regs[d as usize & REG_MASK] = self.regs[d as usize & REG_MASK].max(v);
+                }
+                Op::ConstMin { d, v } => {
+                    self.regs[d as usize & REG_MASK] = self.regs[d as usize & REG_MASK].min(v);
+                }
+                Op::Store { si } => {
+                    let s = cp.stmts[si as usize];
+                    self.store_tail::<COUNT, S>(s, sink);
+                }
+            }
+        }
+    }
+
+    /// The store sequence of one statement instance: reduce read, memory
+    /// write, write event, `end_instance` — in the interpreter's exact
+    /// order. `COUNT` selects per-access statistics.
+    #[inline(always)]
+    fn store_tail<const COUNT: bool, S: TraceSink>(&mut self, s: CStmt, sink: &mut S) {
+        let rhs = self.regs[0];
+        let st = self.wk[s.walker as usize];
+        let addr = st.cur;
+        let elem = addr as usize / ELEM_BYTES;
+        let value = match s.reduce {
+            None => rhs,
+            Some(op) => {
+                // The reduction reads its target first, as the interpreter
+                // does (event before the combine, write event after).
+                if s.traced {
+                    if COUNT {
+                        self.reads += 1;
+                    }
+                    sink.access(AccessEvent {
+                        addr: addr as u64,
+                        array: st.array,
+                        ref_id: st.ref_id,
+                        stmt: s.id,
+                        is_write: false,
+                    });
+                }
+                let old = self.mem[elem];
+                match op {
+                    ReduceOp::Sum => old + rhs,
+                    ReduceOp::Max => old.max(rhs),
+                    ReduceOp::Min => old.min(rhs),
+                }
+            }
+        };
+        self.mem[elem] = value;
+        if s.traced {
+            if COUNT {
+                self.writes += 1;
+            }
+            sink.access(AccessEvent {
+                addr: addr as u64,
+                array: st.array,
+                ref_id: st.ref_id,
+                stmt: s.id,
+                is_write: true,
+            });
+        }
+        if COUNT {
+            self.instances += 1;
+            self.flops += u64::from(s.flops);
+        }
+        sink.end_instance(s.id);
+    }
+
+    fn exec_stmt<S: TraceSink>(&mut self, si: u32, sink: &mut S) -> Result<(), GcrError> {
+        self.spend()?;
+        let s = self.cp.stmts[si as usize];
+        self.exec_ops::<true, S>(s.ops, sink);
+        self.store_tail::<true, S>(s, sink);
+        Ok(())
+    }
+}

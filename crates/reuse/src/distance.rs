@@ -13,8 +13,8 @@
 //! access with memory proportional to the number of distinct data items —
 //! this is the array-based formulation of Olken's tree algorithm.
 
+use crate::hash::FnvHashMap;
 use gcr_ir::RefId;
-use std::collections::HashMap;
 
 /// Fenwick tree over slot liveness bits.
 struct Fenwick {
@@ -215,7 +215,7 @@ impl PerRef {
 pub struct ReuseDistanceAnalyzer {
     /// Granularity shift: 3 = 8-byte elements, 5 = 32-byte blocks, …
     shift: u32,
-    last: HashMap<u64, u32>,
+    last: FnvHashMap<u64, u32>,
     /// Slot → datum (for compaction); `u64::MAX` marks a tombstone.
     slots: Vec<u64>,
     fenwick: Fenwick,
@@ -223,7 +223,7 @@ pub struct ReuseDistanceAnalyzer {
     /// Global histogram.
     pub hist: Histogram,
     /// Per-reference statistics.
-    pub per_ref: HashMap<RefId, PerRef>,
+    pub per_ref: FnvHashMap<RefId, PerRef>,
     track_refs: bool,
 }
 
@@ -233,12 +233,12 @@ impl ReuseDistanceAnalyzer {
         assert!(granularity.is_power_of_two());
         ReuseDistanceAnalyzer {
             shift: granularity.trailing_zeros(),
-            last: HashMap::new(),
+            last: FnvHashMap::default(),
             slots: Vec::new(),
             fenwick: Fenwick::new(1024),
             next: 0,
             hist: Histogram::default(),
-            per_ref: HashMap::new(),
+            per_ref: FnvHashMap::default(),
             track_refs: false,
         }
     }

@@ -13,9 +13,9 @@
 //! The resulting order is measured with the reuse-distance analyzer; the
 //! comparison against program order is Figure 3.
 
-use crate::distance::{Histogram, PerRef, ReuseDistanceAnalyzer};
+use crate::distance::{Histogram, ReuseDistanceAnalyzer};
+use crate::evadable::RefStats;
 use crate::trace::InstrTrace;
-use gcr_ir::RefId;
 use std::collections::{HashMap, VecDeque};
 
 /// Flow-dependence structure over a trace: per instruction, its producers
@@ -25,7 +25,7 @@ pub struct DepGraph {
     /// CSR producers: instruction `i` has `prods[pstarts[i]..pstarts[i+1]]`.
     prods: Vec<u32>,
     pstarts: Vec<u32>,
-    /// Dense datum id per access position (aligned with `InstrTrace::addrs`).
+    /// Dense datum id per access position (aligned with `InstrTrace::accs`).
     datum_of: Vec<u32>,
     /// CSR toucher lists: datum `d` is touched by instructions
     /// `touchers[tstarts[d]..tstarts[d+1]]`, in trace order (deduplicated
@@ -46,9 +46,9 @@ impl DepGraph {
         // Dense datum ids.
         let mut datum_ids: HashMap<u64, u32> = HashMap::new();
         let mut datum_of = vec![0u32; trace.total_accesses()];
-        for (k, &addr) in trace.addrs.iter().enumerate() {
+        for (k, a) in trace.accs.iter().enumerate() {
             let next = datum_ids.len() as u32;
-            datum_of[k] = *datum_ids.entry(addr).or_insert(next);
+            datum_of[k] = *datum_ids.entry(a.addr).or_insert(next);
         }
         let ndata = datum_ids.len();
         for i in 0..n {
@@ -286,7 +286,7 @@ pub fn reuse_driven_order_with(trace: &InstrTrace, policy: NextUsePolicy) -> Vec
 
 /// Replays a trace in the given instruction order through the
 /// reuse-distance analyzer (element granularity).
-pub fn measure_order(trace: &InstrTrace, order: &[u32]) -> (Histogram, HashMap<RefId, PerRef>) {
+pub fn measure_order(trace: &InstrTrace, order: &[u32]) -> (Histogram, RefStats) {
     let mut a = ReuseDistanceAnalyzer::new(1).track_refs();
     for &i in order {
         for (addr, _, r) in trace.accesses(i as usize) {
@@ -297,7 +297,7 @@ pub fn measure_order(trace: &InstrTrace, order: &[u32]) -> (Histogram, HashMap<R
 }
 
 /// Measures the trace in its original program order.
-pub fn measure_program_order(trace: &InstrTrace) -> (Histogram, HashMap<RefId, PerRef>) {
+pub fn measure_program_order(trace: &InstrTrace) -> (Histogram, RefStats) {
     let order: Vec<u32> = (0..trace.len() as u32).collect();
     measure_order(trace, &order)
 }
@@ -305,7 +305,8 @@ pub fn measure_program_order(trace: &InstrTrace) -> (Histogram, HashMap<RefId, P
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gcr_ir::StmtId;
+    use crate::trace::Access;
+    use gcr_ir::{RefId, StmtId};
 
     /// Hand-builds a trace: each instruction is (reads, write).
     fn mk(instrs: &[(&[u64], u64)]) -> InstrTrace {
@@ -313,14 +314,10 @@ mod tests {
         t.starts.push(0);
         for (k, (reads, w)) in instrs.iter().enumerate() {
             for &r in *reads {
-                t.addrs.push(r);
-                t.is_write.push(false);
-                t.refs.push(RefId::from_index(0));
+                t.accs.push(Access { addr: r, ref_id: RefId::from_index(0), is_write: false });
             }
-            t.addrs.push(*w);
-            t.is_write.push(true);
-            t.refs.push(RefId::from_index(1));
-            t.starts.push(t.addrs.len() as u32);
+            t.accs.push(Access { addr: *w, ref_id: RefId::from_index(1), is_write: true });
+            t.starts.push(t.accs.len() as u32);
             t.stmts.push(StmtId::from_index(k));
         }
         t

@@ -7,11 +7,11 @@
 //! dynamic reuses at the larger size count as evadable reuses.
 
 use crate::distance::PerRef;
+use crate::hash::FnvHashMap;
 use gcr_ir::RefId;
-use std::collections::HashMap;
 
 /// Per-static-reference measurement at one input size.
-pub type RefStats = HashMap<RefId, PerRef>;
+pub type RefStats = FnvHashMap<RefId, PerRef>;
 
 /// Result of an evadable-reuse comparison.
 #[derive(Clone, Debug, Default, PartialEq)]

@@ -33,6 +33,7 @@
 pub mod distance;
 pub mod driven;
 pub mod evadable;
+pub mod hash;
 pub mod predict;
 pub mod profile;
 pub mod sampled;
@@ -41,7 +42,8 @@ pub mod trace;
 pub use distance::{CapacityCounter, DistanceSink, Histogram, ReuseDistanceAnalyzer};
 pub use driven::reuse_driven_order;
 pub use evadable::{evadable_fraction, EvadableReport, RefStats};
+pub use hash::{FnvBuildHasher, FnvHashMap, FnvHasher};
 pub use predict::{miss_ratio_curve, predicted_miss_ratio, predicted_misses};
 pub use profile::{ProfileSink, ReuseProfile};
 pub use sampled::SampledAnalyzer;
-pub use trace::{InstrTrace, TraceCapture};
+pub use trace::{Access, InstrTrace, TraceCapture};

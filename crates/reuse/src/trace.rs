@@ -8,15 +8,25 @@
 use gcr_exec::{AccessEvent, TraceSink};
 use gcr_ir::{RefId, StmtId};
 
+/// One recorded access: element-granularity address, static reference, and
+/// write flag, packed into a single record so capture is one vector push
+/// (three parallel vectors cost three capacity checks and three scattered
+/// store streams on the multi-million-access traces of Section 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Element-granularity address.
+    pub addr: u64,
+    /// Static reference id.
+    pub ref_id: RefId,
+    /// True for the write (the write, if any, is last in its instruction).
+    pub is_write: bool,
+}
+
 /// A captured instruction trace. Addresses are at element granularity.
 #[derive(Clone, Debug, Default)]
 pub struct InstrTrace {
-    /// Flat address stream; instruction `i` owns `addrs[starts[i]..starts[i+1]]`.
-    pub addrs: Vec<u64>,
-    /// Matching write flags (the write, if any, is last).
-    pub is_write: Vec<bool>,
-    /// Matching static reference ids.
-    pub refs: Vec<RefId>,
+    /// Flat access stream; instruction `i` owns `accs[starts[i]..starts[i+1]]`.
+    pub accs: Vec<Access>,
     /// CSR offsets, length = instructions + 1.
     pub starts: Vec<u32>,
     /// Static statement id per instruction.
@@ -37,12 +47,12 @@ impl InstrTrace {
     /// Accesses of instruction `i`: `(addr, is_write, ref)` triples.
     pub fn accesses(&self, i: usize) -> impl Iterator<Item = (u64, bool, RefId)> + '_ {
         let r = self.starts[i] as usize..self.starts[i + 1] as usize;
-        r.map(move |k| (self.addrs[k], self.is_write[k], self.refs[k]))
+        self.accs[r].iter().map(|a| (a.addr, a.is_write, a.ref_id))
     }
 
     /// Total number of accesses.
     pub fn total_accesses(&self) -> usize {
-        self.addrs.len()
+        self.accs.len()
     }
 }
 
@@ -66,9 +76,7 @@ impl TraceCapture {
     pub fn with_capacity(instances: u64, accesses: u64) -> Self {
         let (ni, na) = (instances as usize, accesses as usize);
         let mut t = InstrTrace {
-            addrs: Vec::with_capacity(na),
-            is_write: Vec::with_capacity(na),
-            refs: Vec::with_capacity(na),
+            accs: Vec::with_capacity(na),
             starts: Vec::with_capacity(ni + 1),
             stmts: Vec::with_capacity(ni),
         };
@@ -80,19 +88,32 @@ impl TraceCapture {
     pub fn finish(self) -> InstrTrace {
         self.trace
     }
+
+    /// Empties the capture, keeping the allocated buffers. Benchmarks use
+    /// this to time repeated captures without re-paying page faults on
+    /// multi-megabyte trace buffers.
+    pub fn clear(&mut self) {
+        self.trace.accs.clear();
+        self.trace.stmts.clear();
+        self.trace.starts.clear();
+        self.trace.starts.push(0);
+    }
 }
 
 impl TraceSink for TraceCapture {
     #[inline]
     fn access(&mut self, ev: AccessEvent) {
-        self.trace.addrs.push(ev.addr >> 3); // element granularity
-        self.trace.is_write.push(ev.is_write);
-        self.trace.refs.push(ev.ref_id);
+        self.trace.accs.push(Access {
+            addr: ev.addr >> 3, // element granularity
+            ref_id: ev.ref_id,
+            is_write: ev.is_write,
+        });
     }
 
+    #[inline]
     fn end_instance(&mut self, stmt: StmtId) {
         self.trace.stmts.push(stmt);
-        self.trace.starts.push(self.trace.addrs.len() as u32);
+        self.trace.starts.push(self.trace.accs.len() as u32);
     }
 }
 
