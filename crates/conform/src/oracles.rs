@@ -1,0 +1,608 @@
+//! The five metamorphic oracles.
+//!
+//! Each oracle takes a program and returns `Err(diagnostic)` when one of
+//! the workspace's cross-cutting invariants is violated. Panics inside the
+//! system under test are caught and reported as failures too, so the
+//! fuzzer surfaces crashes and mismatches through the same channel.
+//!
+//! | oracle | invariant | compared artifacts |
+//! |--------|-----------|--------------------|
+//! | [`Oracle::Engine`]   | interpreter ≡ compiled tape | event stream, stats, f64 bits, fuel |
+//! | [`Oracle::Optimize`] | `optimize_checked` preserves semantics on every ladder rung | final array contents vs original |
+//! | [`Oracle::Sweep`]    | single-pass sweep ≡ per-capacity LRU; inclusion property | exact miss counts |
+//! | [`Oracle::Profile`]  | reuse profiles are internally consistent | histogram masses |
+//! | [`Oracle::Bound`]    | fused reuse distances are `O(k·m)`, size-independent | max exact distance at two sizes |
+
+use gcr_cache::{Cache, CacheConfig, CapacitySweepSink};
+use gcr_core::checked::{optimize_checked, Pass, SafetyOptions};
+use gcr_core::OptimizeOptions;
+use gcr_exec::{AccessEvent, DataLayout, ExecEngine, Machine, TraceSink};
+use gcr_ir::{ParamBinding, Program, StmtId};
+use gcr_reuse::{Histogram, ProfileSink, ReuseDistanceAnalyzer};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One of the five conformance oracles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Oracle {
+    /// Differential interpreter-vs-compiled execution.
+    Engine,
+    /// Optimizer semantic preservation across the degradation ladder.
+    Optimize,
+    /// Capacity sweep vs dedicated LRU simulation + inclusion property.
+    Sweep,
+    /// Reuse-distance profile consistency.
+    Profile,
+    /// Fused-chain reuse-distance bound (`O(k·m)`, size-independent).
+    Bound,
+}
+
+/// All oracles, in documentation order.
+pub const ALL_ORACLES: [Oracle; 5] =
+    [Oracle::Engine, Oracle::Optimize, Oracle::Sweep, Oracle::Profile, Oracle::Bound];
+
+impl Oracle {
+    /// Stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Oracle::Engine => "engine",
+            Oracle::Optimize => "optimize",
+            Oracle::Sweep => "sweep",
+            Oracle::Profile => "profile",
+            Oracle::Bound => "bound",
+        }
+    }
+
+    /// Parses a CLI name (`"all"` is handled by the caller).
+    pub fn from_name(s: &str) -> Option<Oracle> {
+        ALL_ORACLES.into_iter().find(|o| o.name() == s)
+    }
+}
+
+impl std::fmt::Display for Oracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Fuel budget for oracle runs: generous for the generated sizes, finite
+/// so a transformed program with runaway bounds terminates.
+const FUEL: u64 = 50_000_000;
+
+/// Runs one oracle, converting panics in the system under test into
+/// failures.
+pub fn run_oracle(oracle: Oracle, prog: &Program) -> Result<(), String> {
+    let res = catch_unwind(AssertUnwindSafe(|| match oracle {
+        Oracle::Engine => engine_diff(prog),
+        Oracle::Optimize => optimize_equiv(prog),
+        Oracle::Sweep => sweep_vs_sim(prog),
+        Oracle::Profile => profile_consistency(prog),
+        Oracle::Bound => fused_bound(prog),
+    }));
+    match res {
+        Ok(r) => r,
+        Err(p) => Err(format!("panic: {}", panic_msg(p))),
+    }
+}
+
+fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------- oracle 1
+
+/// One observable event: a traced access or an instance boundary. The
+/// compiled engine must reproduce the interpreter's stream exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ev {
+    Access { addr: u64, array: usize, ref_id: usize, stmt: usize, is_write: bool },
+    End(usize),
+}
+
+#[derive(Default)]
+struct Cap(Vec<Ev>);
+
+impl TraceSink for Cap {
+    fn access(&mut self, ev: AccessEvent) {
+        self.0.push(Ev::Access {
+            addr: ev.addr,
+            array: ev.array.index(),
+            ref_id: ev.ref_id.index(),
+            stmt: ev.stmt.index(),
+            is_write: ev.is_write,
+        });
+    }
+
+    fn end_instance(&mut self, stmt: StmtId) {
+        self.0.push(Ev::End(stmt.index()));
+    }
+}
+
+struct Run {
+    events: Vec<Ev>,
+    stats: gcr_exec::ExecStats,
+    mem: Vec<Vec<u64>>,
+    outcome: Result<(), String>,
+}
+
+fn run_engine(
+    prog: &Program,
+    binding: &ParamBinding,
+    layout: &DataLayout,
+    engine: ExecEngine,
+    steps: usize,
+    fuel: u64,
+) -> Run {
+    let mut m = Machine::with_layout(prog, binding.clone(), layout.clone()).with_engine(engine);
+    let mut cap = Cap::default();
+    let outcome = m.run_steps_guarded(&mut cap, steps, fuel).map_err(|e| e.to_string());
+    let mem = (0..prog.arrays.len())
+        .map(|i| {
+            m.read_array(gcr_ir::ArrayId::from_index(i)).into_iter().map(f64::to_bits).collect()
+        })
+        .collect();
+    Run { events: cap.0, stats: m.stats(), mem, outcome }
+}
+
+/// Oracle 1: the compiled tape engine must be observationally identical to
+/// the interpreter — same event stream (accesses *and* instance
+/// boundaries, in order), same statistics, bit-identical `f64` memory,
+/// and the same fuel-exhaustion behaviour — under several layouts.
+fn engine_diff(prog: &Program) -> Result<(), String> {
+    let binding = ParamBinding::new(vec![12; prog.params.len()]);
+    let layouts = [
+        ("plain", DataLayout::column_major(prog, &binding, 0)),
+        ("padded", DataLayout::column_major(prog, &binding, 64)),
+    ];
+    for (label, layout) in &layouts {
+        // The generated grammar stays inside the compiler's domain; a
+        // fallback to the interpreter would silently void the comparison.
+        let mut probe = Machine::with_layout(prog, binding.clone(), layout.clone())
+            .with_engine(ExecEngine::Compiled);
+        if !probe.compiles() {
+            return Err(format!("program unexpectedly outside compiler domain ({label} layout)"));
+        }
+        for steps in [1usize, 2] {
+            let a = run_engine(prog, &binding, layout, ExecEngine::Interp, steps, FUEL);
+            let b = run_engine(prog, &binding, layout, ExecEngine::Compiled, steps, FUEL);
+            compare_runs(label, steps, &a, &b)?;
+        }
+        // Fuel parity: starve both engines with the fuel that lets the
+        // interpreter get roughly halfway, and require the identical
+        // error and identical (prefix) event stream.
+        let full = run_engine(prog, &binding, layout, ExecEngine::Interp, 1, FUEL);
+        let spent = full.stats.instances + 1;
+        if spent > 2 {
+            let short = spent / 2;
+            let a = run_engine(prog, &binding, layout, ExecEngine::Interp, 1, short);
+            let b = run_engine(prog, &binding, layout, ExecEngine::Compiled, 1, short);
+            if a.outcome != b.outcome {
+                return Err(format!(
+                    "fuel {short} outcome diverged ({label}): interp {:?} vs compiled {:?}",
+                    a.outcome, b.outcome
+                ));
+            }
+            if a.events != b.events {
+                return Err(format!(
+                    "fuel {short} event prefix diverged ({label}): interp {} events, compiled {}",
+                    a.events.len(),
+                    b.events.len()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn compare_runs(label: &str, steps: usize, a: &Run, b: &Run) -> Result<(), String> {
+    if a.outcome != b.outcome {
+        return Err(format!(
+            "outcome diverged ({label}, steps={steps}): interp {:?} vs compiled {:?}",
+            a.outcome, b.outcome
+        ));
+    }
+    if a.events != b.events {
+        let at = a.events.iter().zip(&b.events).position(|(x, y)| x != y);
+        return Err(format!(
+            "event streams diverged ({label}, steps={steps}): lengths {} vs {}, first diff at {:?}: {:?} vs {:?}",
+            a.events.len(),
+            b.events.len(),
+            at,
+            at.map(|i| a.events[i]),
+            at.map(|i| b.events[i]),
+        ));
+    }
+    if a.stats != b.stats {
+        return Err(format!(
+            "stats diverged ({label}, steps={steps}): interp {:?} vs compiled {:?}",
+            a.stats, b.stats
+        ));
+    }
+    for (ai, (ma, mb)) in a.mem.iter().zip(&b.mem).enumerate() {
+        if ma != mb {
+            let at = ma.iter().zip(mb).position(|(x, y)| x != y);
+            return Err(format!(
+                "memory of array #{ai} diverged ({label}, steps={steps}) at element {at:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- oracle 2
+
+/// Elementwise comparison with the pipeline's own tolerance, extended with
+/// bit equality so identically-produced non-finite values do not trip it.
+fn close(x: f64, y: f64) -> bool {
+    x.to_bits() == y.to_bits() || (x - y).abs() <= 1e-9 * x.abs().max(1.0)
+}
+
+/// Oracle 2: every rung of the degradation ladder must deliver a program
+/// that computes the same array contents as the original — verified
+/// *externally* (not trusting the pipeline's internal oracle) and at a
+/// larger size than the internal checkpoint uses, so size-parametric
+/// transformation bugs cannot hide behind the checked size.
+fn optimize_equiv(prog: &Program) -> Result<(), String> {
+    let faults: [Option<Pass>; 4] =
+        [None, Some(Pass::Prelim), Some(Pass::Fusion { level: 1 }), Some(Pass::Regroup)];
+    for fault in faults {
+        let safety = SafetyOptions { inject_fault: fault, ..SafetyOptions::default() };
+        let opt = optimize_checked(prog, &OptimizeOptions::default(), &safety)
+            .map_err(|e| format!("optimize_checked({fault:?}) fatal: {e}"))?;
+        // The injected corruption adds +1.0 to the first assignment after
+        // the pass. The pipeline's checkpoints need not "detect" it per se
+        // (the corrupted statement may write a scalar or sit under a dead
+        // guard, leaving memory untouched) — but whatever program comes out
+        // the other end must be memory-equivalent to the original at the
+        // ladder's own oracle sizes. (A dynamic oracle cannot promise more:
+        // value clamps like `min(x, 1.0)` can mask a corruption at any
+        // finite size set, so divergence at a *third* size is a known
+        // residual, not a checkpoint bug.) The unfaulted pipeline is held
+        // to a stricter standard: equivalence at a size the internal
+        // oracle never saw, which is what catches size-parametric
+        // transform bugs.
+        match fault {
+            None => check_equivalence(prog, &opt, 16, fault)?,
+            Some(_) => {
+                let sizes = [
+                    SafetyOptions::default().oracle_n,
+                    SafetyOptions::default().oracle_n2.unwrap_or(12),
+                ];
+                for n in sizes {
+                    check_equivalence(prog, &opt, n, fault).map_err(|e| {
+                        format!("undetected injected fault escaped the ladder: {e}")
+                    })?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Executes original and optimized programs from equalized initial data
+/// and compares every (non-scalar) array, following component splits
+/// (`u` → `u__1..u__k`) the preliminary passes may have introduced.
+fn check_equivalence(
+    orig: &Program,
+    opt: &gcr_core::OptimizedProgram,
+    n: i64,
+    fault: Option<Pass>,
+) -> Result<(), String> {
+    let binding = ParamBinding::new(vec![n; orig.params.len()]);
+    let steps = 2;
+    let layout = DataLayout::column_major(orig, &binding, 0);
+    let mut reference = Machine::with_layout(orig, binding.clone(), layout);
+    let initial: Vec<Vec<f64>> = (0..orig.arrays.len())
+        .map(|i| reference.read_array(gcr_ir::ArrayId::from_index(i)))
+        .collect();
+    reference
+        .run_steps_guarded(&mut gcr_exec::NullSink, steps, FUEL)
+        .map_err(|e| format!("reference run failed at N={n}: {e}"))?;
+
+    let opt_layout = opt.layout(&binding);
+    let mut m = Machine::with_layout(&opt.program, binding.clone(), opt_layout);
+    for (i, decl) in orig.arrays.iter().enumerate() {
+        let vals = &initial[i];
+        if let Some(t) = opt.program.array_by_name(&decl.name) {
+            if opt.program.array(t).rank() == decl.rank() {
+                m.write_array(t, vals).map_err(|e| e.to_string())?;
+                continue;
+            }
+        }
+        let comps = split_count(&opt.program, &decl.name)
+            .ok_or_else(|| format!("array {} disappeared after {fault:?}", decl.name))?;
+        for c in 0..comps {
+            let part = opt.program.array_by_name(&format!("{}__{}", decl.name, c + 1)).unwrap();
+            let slice: Vec<f64> = vals.iter().skip(c).step_by(comps).copied().collect();
+            m.write_array(part, &slice).map_err(|e| e.to_string())?;
+        }
+    }
+    m.run_steps_guarded(&mut gcr_exec::NullSink, steps, FUEL).map_err(|e| {
+        format!("optimized run ({}, fault {fault:?}) failed at N={n}: {e}", opt.robustness.strategy)
+    })?;
+
+    for (i, decl) in orig.arrays.iter().enumerate() {
+        if decl.rank() == 0 {
+            continue; // scalar reductions may reassociate across fusion
+        }
+        let want = reference.read_array(gcr_ir::ArrayId::from_index(i));
+        if let Some(t) = opt.program.array_by_name(&decl.name) {
+            if opt.program.array(t).rank() == decl.rank() {
+                compare_arrays(
+                    &decl.name,
+                    &want,
+                    &m.read_array(t),
+                    &opt.robustness.strategy,
+                    fault,
+                )?;
+                continue;
+            }
+        }
+        let comps = split_count(&opt.program, &decl.name)
+            .ok_or_else(|| format!("array {} disappeared after {fault:?}", decl.name))?;
+        for c in 0..comps {
+            let part = opt.program.array_by_name(&format!("{}__{}", decl.name, c + 1)).unwrap();
+            let wantc: Vec<f64> = want.iter().skip(c).step_by(comps).copied().collect();
+            compare_arrays(
+                &format!("{}__{}", decl.name, c + 1),
+                &wantc,
+                &m.read_array(part),
+                &opt.robustness.strategy,
+                fault,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Number of `name__k` components present in the transformed program.
+fn split_count(prog: &Program, name: &str) -> Option<usize> {
+    let mut c = 0;
+    while prog.array_by_name(&format!("{}__{}", name, c + 1)).is_some() {
+        c += 1;
+    }
+    (c > 0).then_some(c)
+}
+
+fn compare_arrays(
+    name: &str,
+    want: &[f64],
+    got: &[f64],
+    strategy: &str,
+    fault: Option<Pass>,
+) -> Result<(), String> {
+    if want.len() != got.len() {
+        return Err(format!(
+            "array {name} length {} vs {} (strategy {strategy}, fault {fault:?})",
+            want.len(),
+            got.len()
+        ));
+    }
+    for (i, (&x, &y)) in want.iter().zip(got).enumerate() {
+        if !close(x, y) {
+            return Err(format!(
+                "array {name}[{i}] diverged: {x} vs {y} (strategy {strategy}, fault {fault:?})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- oracle 3
+
+/// Capturing sink: feeds the sweep and records the raw address stream for
+/// the per-capacity reference simulations.
+struct SweepCap {
+    sweep: CapacitySweepSink,
+    trace: Vec<(u64, bool)>,
+}
+
+impl TraceSink for SweepCap {
+    fn access(&mut self, ev: AccessEvent) {
+        self.sweep.access(ev);
+        self.trace.push((ev.addr, ev.is_write));
+    }
+}
+
+/// Oracle 3: the single-pass [`CapacitySweepSink`] must agree *exactly*
+/// with a dedicated fully-associative LRU simulation at every capacity of
+/// a random capacity set (Section 2.1: hit ⟺ reuse distance < capacity),
+/// and miss counts must be monotone in capacity (the inclusion property).
+fn sweep_vs_sim(prog: &Program) -> Result<(), String> {
+    let binding = ParamBinding::new(vec![12; prog.params.len()]);
+    let mut rng = crate::rng::Rng::new(
+        prog.body.len() as u64 ^ (prog.next_stmt as u64) << 16 ^ (prog.next_ref as u64) << 32,
+    );
+    let line: u64 = *rng.pick(&[16, 32, 64]);
+    let ncaps = rng.range(2, 5) as usize;
+    let mut caps: Vec<u64> = (0..ncaps).map(|_| line * rng.range(1, 96) as u64).collect();
+    caps.sort_unstable();
+    caps.dedup();
+
+    let mut sink = SweepCap { sweep: CapacitySweepSink::new(line, &caps), trace: Vec::new() };
+    let mut m = Machine::new(prog, binding);
+    m.run_steps_guarded(&mut sink, 2, FUEL).map_err(|e| format!("run failed: {e}"))?;
+
+    if sink.sweep.refs() != sink.trace.len() as u64 {
+        return Err(format!(
+            "sweep saw {} refs, trace recorded {}",
+            sink.sweep.refs(),
+            sink.trace.len()
+        ));
+    }
+    for &cap in &caps {
+        let assoc = (cap / line) as usize;
+        let mut c = Cache::new(CacheConfig { size: cap as usize, line: line as usize, assoc });
+        for &(addr, w) in &sink.trace {
+            c.access_rw(addr, w);
+        }
+        let got = sink.sweep.misses(cap);
+        if got != c.misses {
+            return Err(format!(
+                "capacity {} lines (line {line}): sweep {got} misses, dedicated LRU {}",
+                cap / line,
+                c.misses
+            ));
+        }
+    }
+    let counts = sink.sweep.miss_counts();
+    for w in counts.windows(2) {
+        if w[1].1 > w[0].1 {
+            return Err(format!(
+                "inclusion violated: {} misses at {}B > {} misses at {}B",
+                w[1].1, w[1].0, w[0].1, w[0].0
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- oracle 4
+
+/// Wraps a [`ProfileSink`] while independently counting events.
+struct ProfileCap {
+    profile: ProfileSink,
+    accesses: u64,
+    distinct: std::collections::HashSet<u64>,
+    granularity: u64,
+}
+
+impl TraceSink for ProfileCap {
+    fn access(&mut self, ev: AccessEvent) {
+        self.profile.access(ev);
+        self.accesses += 1;
+        self.distinct.insert(ev.addr / self.granularity);
+    }
+
+    fn end_instance(&mut self, stmt: StmtId) {
+        self.profile.end_instance(stmt);
+    }
+}
+
+fn mass(h: &Histogram) -> u64 {
+    h.cold + h.reuses
+}
+
+/// Oracle 4: profile bookkeeping must be conservative — the global
+/// histogram's mass equals the traced access count, its cold count equals
+/// the distinct footprint, bin totals equal the reuse count, and the
+/// per-array and per-phase decompositions each sum back to the global
+/// histogram.
+fn profile_consistency(prog: &Program) -> Result<(), String> {
+    let binding = ParamBinding::new(vec![12; prog.params.len()]);
+    let granularity = 8;
+    let mut sink = ProfileCap {
+        profile: ProfileSink::new(prog, granularity),
+        accesses: 0,
+        distinct: std::collections::HashSet::new(),
+        granularity,
+    };
+    let mut m = Machine::new(prog, binding);
+    m.run_steps_guarded(&mut sink, 2, FUEL).map_err(|e| format!("run failed: {e}"))?;
+    let accesses = sink.accesses;
+    let footprint = sink.distinct.len() as u64;
+    let profile = sink.profile.finish();
+
+    let g = &profile.global;
+    if mass(g) != accesses {
+        return Err(format!("global mass {} != traced accesses {accesses}", mass(g)));
+    }
+    if g.cold != footprint {
+        return Err(format!("global cold {} != distinct footprint {footprint}", g.cold));
+    }
+    if g.bins.iter().sum::<u64>() != g.reuses {
+        return Err(format!(
+            "global bins sum {} != reuses {}",
+            g.bins.iter().sum::<u64>(),
+            g.reuses
+        ));
+    }
+    let per_array: u64 = profile.per_array.iter().map(|(_, h)| mass(h)).sum();
+    if per_array != mass(g) {
+        return Err(format!("per-array masses sum {per_array} != global {}", mass(g)));
+    }
+    let per_phase: u64 = profile.per_phase.iter().map(|(_, h)| mass(h)).sum();
+    if per_phase != mass(g) {
+        return Err(format!("per-phase masses sum {per_phase} != global {}", mass(g)));
+    }
+    let cold_arrays: u64 = profile.per_array.iter().map(|(_, h)| h.cold).sum();
+    if cold_arrays < g.cold {
+        // Per-array cold counts may exceed the global (an element first
+        // seen by array A then reused by array B under regrouped layouts
+        // is cold for B too), but can never undercount.
+        return Err(format!("per-array cold sum {cold_arrays} < global cold {}", g.cold));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- oracle 5
+
+/// Sink tracking the maximum exact finite reuse distance.
+struct MaxDist {
+    analyzer: ReuseDistanceAnalyzer,
+    max: u64,
+}
+
+impl TraceSink for MaxDist {
+    fn access(&mut self, ev: AccessEvent) {
+        if let Some(d) = self.analyzer.access(ev.addr) {
+            self.max = self.max.max(d);
+        }
+    }
+}
+
+fn max_distance(prog: &Program, opt: &gcr_core::OptimizedProgram, n: i64) -> Result<u64, String> {
+    let binding = ParamBinding::new(vec![n; prog.params.len()]);
+    let layout = opt.layout(&binding);
+    let mut m = Machine::with_layout(&opt.program, binding, layout);
+    let mut sink = MaxDist { analyzer: ReuseDistanceAnalyzer::new(8), max: 0 };
+    m.run_guarded(&mut sink, FUEL).map_err(|e| format!("fused run failed at N={n}: {e}"))?;
+    Ok(sink.max)
+}
+
+/// Oracle 5: on the fusible chain family ([`crate::gen::generate_chain`]),
+/// fusion must (a) actually fuse the whole chain into one nest, and (b)
+/// bound every reuse distance by a constant independent of `N` and linear
+/// in the chain size — the paper's central `O(k·m)` claim (Section 3.1).
+/// Size independence is checked exactly: the maximum finite distance must
+/// be *identical* at two different sizes.
+fn fused_bound(prog: &Program) -> Result<(), String> {
+    let k = prog.arrays.iter().filter(|a| !a.is_scalar()).count();
+    let m = prog.count_loops();
+    let opt = optimize_checked(prog, &OptimizeOptions::default(), &SafetyOptions::default())
+        .map_err(|e| format!("optimize failed on fusible chain: {e}"))?;
+    if opt.robustness.degraded() {
+        return Err(format!(
+            "fusible chain degraded to {}: {:?}",
+            opt.robustness.strategy, opt.robustness.fallbacks
+        ));
+    }
+    if opt.program.count_nests() != 1 {
+        return Err(format!(
+            "fusible chain of {m} loops left {} nests (strategy {})",
+            opt.program.count_nests(),
+            opt.robustness.strategy
+        ));
+    }
+    let d1 = max_distance(prog, &opt, 40)?;
+    let d2 = max_distance(prog, &opt, 80)?;
+    if d1 != d2 {
+        return Err(format!(
+            "fused max reuse distance is size-dependent: {d1} at N=40, {d2} at N=80"
+        ));
+    }
+    // Generous constant: the steady-state window holds O(k·m) elements
+    // (k arrays × alignment window), plus boundary iterations.
+    let bound = 16 * (k as u64 + 1) * (m as u64 + 1) + 64;
+    if d1 > bound {
+        return Err(format!(
+            "fused max reuse distance {d1} exceeds O(k·m) bound {bound} (k={k}, m={m})"
+        ));
+    }
+    Ok(())
+}

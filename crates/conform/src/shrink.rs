@@ -1,0 +1,433 @@
+//! Failure minimization by loop/statement/expression deletion.
+//!
+//! The vendored `proptest` shim deliberately has no shrinking, so the
+//! fuzzer carries its own: a greedy delta debugger over the IR. Given a
+//! failing program and a predicate ("does this candidate still fail?"),
+//! it repeatedly tries structure-removing edits, keeps every candidate
+//! that still fails, and stops at a fixpoint. Candidates are re-validated
+//! before the predicate runs, so shrinking can never wander into programs
+//! whose failure is a self-inflicted validation error rather than the
+//! original finding.
+//!
+//! Edit classes, from coarse to fine:
+//!
+//! 1. delete a top-level statement (keeping at least one);
+//! 2. delete a statement from a loop body (deleting the loop itself when
+//!    the body would become empty);
+//! 3. strip a guard range or an outer condition;
+//! 4. hoist a subexpression over its parent, or collapse a right-hand
+//!    side to `1.0`;
+//! 5. move subscript and variable offsets toward zero.
+
+use gcr_ir::{Expr, GuardedStmt, Program, Stmt, Subscript};
+
+/// Total predicate evaluations allowed per shrink (keeps pathological
+/// failures from stalling the fuzz loop).
+const MAX_TRIES: usize = 3000;
+
+/// Minimizes `prog` against `fails` (which must return `true` for `prog`
+/// itself). The result still fails, is structurally valid, and keeps every
+/// array reference in bounds — an edit that strips a guard or deletes a
+/// statement must not manufacture an out-of-bounds access (release builds
+/// wrap silently, which would shrink toward an artifact instead of the
+/// original failure).
+pub fn shrink(prog: &Program, fails: &mut dyn FnMut(&Program) -> bool) -> Program {
+    let mut cur = prog.clone();
+    let mut tries = 0usize;
+    loop {
+        let mut progressed = false;
+        for edit in 0..NUM_EDIT_CLASSES {
+            loop {
+                if tries >= MAX_TRIES {
+                    return cur;
+                }
+                match apply_first(&cur, edit, &mut |cand| {
+                    tries += 1;
+                    gcr_ir::validate::validate(cand).is_ok()
+                        && crate::gen::in_bounds(cand)
+                        && fails(cand)
+                }) {
+                    Some(smaller) => {
+                        cur = smaller;
+                        progressed = true;
+                    }
+                    None => break,
+                }
+            }
+        }
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+const NUM_EDIT_CLASSES: usize = 5;
+
+/// Tries every candidate of one edit class in a deterministic order and
+/// returns the first accepted one.
+fn apply_first(
+    cur: &Program,
+    edit: usize,
+    accept: &mut dyn FnMut(&Program) -> bool,
+) -> Option<Program> {
+    let candidates: Vec<Program> = match edit {
+        0 => delete_top(cur),
+        1 => delete_nested(cur),
+        2 => strip_guards(cur),
+        3 => simplify_exprs(cur),
+        _ => zero_offsets(cur),
+    };
+    candidates.into_iter().find(|c| accept(c))
+}
+
+fn delete_top(cur: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    if cur.body.len() > 1 {
+        for i in 0..cur.body.len() {
+            let mut c = cur.clone();
+            c.body.remove(i);
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Paths to every loop body in the program, as (clone-with-edit) closures.
+fn delete_nested(cur: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    // For each loop (addressed by a path of body indices) and each member,
+    // produce a candidate with that member removed, or with the whole loop
+    // removed when it would become empty.
+    fn visit(cur: &Program, path: &mut Vec<usize>, list: &[GuardedStmt], out: &mut Vec<Program>) {
+        for (i, gs) in list.iter().enumerate() {
+            if let Stmt::Loop(l) = &gs.stmt {
+                path.push(i);
+                for k in 0..l.body.len() {
+                    if l.body.len() > 1 {
+                        let mut c = cur.clone();
+                        with_loop_at(&mut c, path, |lp| {
+                            lp.body.remove(k);
+                        });
+                        out.push(c);
+                    }
+                }
+                visit(cur, path, &l.body, out);
+                path.pop();
+            }
+        }
+    }
+    let mut path = Vec::new();
+    visit(cur, &mut path, &cur.body, &mut out);
+    out
+}
+
+/// Runs `f` on the loop addressed by `path` (indices into nested bodies).
+fn with_loop_at(prog: &mut Program, path: &[usize], f: impl FnOnce(&mut gcr_ir::Loop)) {
+    let mut list = &mut prog.body;
+    for (d, &i) in path.iter().enumerate() {
+        let Stmt::Loop(l) = &mut list[i].stmt else { unreachable!("path must address loops") };
+        if d + 1 == path.len() {
+            f(l);
+            return;
+        }
+        list = &mut l.body;
+    }
+}
+
+fn strip_guards(cur: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    for_each_guarded(cur, &mut |c, gs| {
+        if gs.guard.is_some() {
+            let mut cand = c.clone();
+            edit_same_stmt(&mut cand, gs, |g| g.guard = None);
+            out.push(cand);
+        }
+        for k in 0..gs.outer.len() {
+            let mut cand = c.clone();
+            edit_same_stmt(&mut cand, gs, |g| {
+                g.outer.remove(k);
+            });
+            out.push(cand);
+        }
+    });
+    out
+}
+
+/// Invokes `f` for every guarded statement in the program (with the
+/// program itself, for cloning).
+fn for_each_guarded<'p>(prog: &'p Program, f: &mut dyn FnMut(&'p Program, &'p GuardedStmt)) {
+    fn visit<'p>(
+        prog: &'p Program,
+        list: &'p [GuardedStmt],
+        f: &mut dyn FnMut(&'p Program, &'p GuardedStmt),
+    ) {
+        for gs in list {
+            f(prog, gs);
+            if let Stmt::Loop(l) = &gs.stmt {
+                visit(prog, &l.body, f);
+            }
+        }
+    }
+    visit(prog, &prog.body, f);
+}
+
+/// Applies `edit` to the statement in `cand` that occupies the same
+/// position as `target` does in the original (matched by statement
+/// identity: the assign id for statements, the loop variable for loops —
+/// both unique within a program).
+/// A one-shot statement edit, boxed so the recursive walk can thread it.
+type StmtEdit<'a> = Option<Box<dyn FnOnce(&mut GuardedStmt) + 'a>>;
+
+fn edit_same_stmt(cand: &mut Program, target: &GuardedStmt, edit: impl FnOnce(&mut GuardedStmt)) {
+    fn matches(a: &GuardedStmt, b: &GuardedStmt) -> bool {
+        match (&a.stmt, &b.stmt) {
+            (Stmt::Assign(x), Stmt::Assign(y)) => x.id == y.id,
+            (Stmt::Loop(x), Stmt::Loop(y)) => x.var == y.var,
+            _ => false,
+        }
+    }
+    fn visit(list: &mut [GuardedStmt], target: &GuardedStmt, edit: &mut StmtEdit<'_>) {
+        for gs in list {
+            if matches(gs, target) {
+                if let Some(e) = edit.take() {
+                    e(gs);
+                }
+                return;
+            }
+            if let Stmt::Loop(l) = &mut gs.stmt {
+                visit(&mut l.body, target, edit);
+            }
+        }
+    }
+    let mut boxed: StmtEdit<'_> = Some(Box::new(edit));
+    visit(&mut cand.body, target, &mut boxed);
+}
+
+fn simplify_exprs(cur: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    for_each_assign_path(cur, &mut |assign_id| {
+        // Collect replacement candidates for this assign's rhs: each
+        // immediate subexpression, then the constant.
+        let rhs = find_rhs(cur, assign_id).expect("assign id must exist");
+        let mut reps: Vec<Expr> = Vec::new();
+        collect_children(rhs, &mut reps);
+        if !matches!(rhs, Expr::Const(_)) {
+            reps.push(Expr::Const(1.0));
+        }
+        for r in reps {
+            let mut cand = cur.clone();
+            set_rhs(&mut cand, assign_id, r);
+            out.push(cand);
+        }
+    });
+    out
+}
+
+fn collect_children(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Unary(_, x) => out.push((**x).clone()),
+        Expr::Bin(_, x, y) => {
+            out.push((**x).clone());
+            out.push((**y).clone());
+        }
+        Expr::Call(_, args) => out.extend(args.iter().cloned()),
+        _ => {}
+    }
+}
+
+fn for_each_assign_path(prog: &Program, f: &mut dyn FnMut(gcr_ir::StmtId)) {
+    fn visit(list: &[GuardedStmt], f: &mut dyn FnMut(gcr_ir::StmtId)) {
+        for gs in list {
+            match &gs.stmt {
+                Stmt::Assign(a) => f(a.id),
+                Stmt::Loop(l) => visit(&l.body, f),
+            }
+        }
+    }
+    visit(&prog.body, f);
+}
+
+fn find_rhs(prog: &Program, id: gcr_ir::StmtId) -> Option<&Expr> {
+    fn visit(list: &[GuardedStmt], id: gcr_ir::StmtId) -> Option<&Expr> {
+        for gs in list {
+            match &gs.stmt {
+                Stmt::Assign(a) if a.id == id => return Some(&a.rhs),
+                Stmt::Loop(l) => {
+                    if let Some(e) = visit(&l.body, id) {
+                        return Some(e);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    visit(&prog.body, id)
+}
+
+fn set_rhs(prog: &mut Program, id: gcr_ir::StmtId, rhs: Expr) {
+    fn visit(list: &mut [GuardedStmt], id: gcr_ir::StmtId, rhs: &mut Option<Expr>) {
+        for gs in list {
+            match &mut gs.stmt {
+                Stmt::Assign(a) if a.id == id => {
+                    if let Some(r) = rhs.take() {
+                        a.rhs = r;
+                    }
+                    return;
+                }
+                Stmt::Loop(l) => visit(&mut l.body, id, rhs),
+                _ => {}
+            }
+        }
+    }
+    let mut r = Some(rhs);
+    visit(&mut prog.body, id, &mut r);
+}
+
+/// Candidates with one nonzero offset (subscript or variable expression)
+/// moved one step toward zero.
+fn zero_offsets(cur: &Program) -> Vec<Program> {
+    // Count offset slots, then produce one candidate per nonzero slot.
+    let total = count_offsets(cur);
+    let mut out = Vec::new();
+    for slot in 0..total {
+        let mut cand = cur.clone();
+        if nudge_offset(&mut cand, slot) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+fn count_offsets(prog: &Program) -> usize {
+    let mut n = 0;
+    visit_offsets(&mut prog.clone(), &mut |_| {
+        n += 1;
+        false
+    });
+    n
+}
+
+/// Nudges offset slot `idx` one step toward zero; true when it changed.
+fn nudge_offset(prog: &mut Program, idx: usize) -> bool {
+    let mut k = 0;
+    let mut changed = false;
+    visit_offsets(prog, &mut |off| {
+        let hit = k == idx;
+        k += 1;
+        if hit && *off != 0 {
+            *off -= off.signum();
+            changed = true;
+        }
+        hit
+    });
+    changed
+}
+
+/// Visits every offset in the program in a stable order. The callback
+/// returns `true` to stop early.
+fn visit_offsets(prog: &mut Program, f: &mut dyn FnMut(&mut i64) -> bool) {
+    fn expr(e: &mut Expr, f: &mut dyn FnMut(&mut i64) -> bool) -> bool {
+        match e {
+            Expr::Var { offset, .. } => f(offset),
+            Expr::Read(r) => subs(&mut r.subs, f),
+            Expr::Unary(_, x) => expr(x, f),
+            Expr::Bin(_, x, y) => expr(x, f) || expr(y, f),
+            Expr::Call(_, args) => args.iter_mut().any(|a| expr(a, f)),
+            _ => false,
+        }
+    }
+    fn subs(list: &mut [Subscript], f: &mut dyn FnMut(&mut i64) -> bool) -> bool {
+        list.iter_mut().any(|s| match s {
+            Subscript::Var { offset, .. } => f(offset),
+            Subscript::Invariant(_) => false,
+        })
+    }
+    fn visit(list: &mut [GuardedStmt], f: &mut dyn FnMut(&mut i64) -> bool) -> bool {
+        for gs in list {
+            let stop = match &mut gs.stmt {
+                Stmt::Assign(a) => expr(&mut a.rhs, f) || subs(&mut a.lhs.subs, f),
+                Stmt::Loop(l) => visit(&mut l.body, f),
+            };
+            if stop {
+                return true;
+            }
+        }
+        false
+    }
+    visit(&mut prog.body, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Program {
+        gcr_frontend::parse(src).unwrap()
+    }
+
+    const BIG: &str = "
+program big
+param N
+array A[N], B[N], C[N]
+
+for i = 2, N - 1 {
+  when [3, 5] A[i] = f(B[i-1]) + C[i+1]
+  B[i] = g(A[i]) * 2.0
+}
+for j = 1, N {
+  C[j] = h(C[j])
+}
+A[1] = A[N]
+";
+
+    #[test]
+    fn shrinks_to_single_statement_for_trivial_predicate() {
+        let prog = parse(BIG);
+        // "Still fails" = program is non-empty: the shrinker should strip
+        // it down to one bare statement with a trivial rhs.
+        let small = shrink(&prog, &mut |p| !p.body.is_empty());
+        assert_eq!(small.body.len(), 1, "{}", gcr_ir::print::print_program(&small));
+        gcr_ir::validate::validate(&small).unwrap();
+    }
+
+    #[test]
+    fn preserves_targeted_property() {
+        let prog = parse(BIG);
+        // Failure depends on the guarded statement: it must survive.
+        let has_guard = |p: &Program| {
+            let mut found = false;
+            for_each_guarded(p, &mut |_, gs| found |= gs.guard.is_some());
+            found
+        };
+        let small = shrink(&prog, &mut |p| has_guard(p));
+        assert!(has_guard(&small));
+        assert!(small.count_assigns() <= 2, "{}", gcr_ir::print::print_program(&small));
+    }
+
+    #[test]
+    fn offsets_move_toward_zero() {
+        let prog = parse(
+            "
+program offs
+param N
+array A[N]
+for i = 3, N - 3 {
+  A[i] = A[i-2] + A[i+2]
+}
+",
+        );
+        // Any program with a loop still "fails": offsets should shrink to 0.
+        let small = shrink(&prog, &mut |p| p.count_loops() == 1);
+        let text = gcr_ir::print::print_program(&small);
+        assert!(!text.contains("i-2") && !text.contains("i+2"), "{text}");
+    }
+
+    #[test]
+    fn result_always_validates() {
+        let prog = parse(BIG);
+        let small = shrink(&prog, &mut |p| p.count_assigns() >= 2);
+        gcr_ir::validate::validate(&small).unwrap();
+        assert!(small.count_assigns() >= 2);
+    }
+}

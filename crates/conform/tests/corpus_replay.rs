@@ -1,0 +1,28 @@
+//! Replays every committed corpus program through the conformance oracles.
+//!
+//! Run under both engines: `GCR_EXEC=interp cargo test -p gcr-conform` and
+//! `GCR_EXEC=compiled cargo test -p gcr-conform`.
+
+use gcr_conform::corpus::{corpus_files, replay};
+
+#[test]
+fn corpus_is_populated() {
+    assert!(
+        corpus_files().len() >= 10,
+        "regression corpus must hold at least 10 minimized programs"
+    );
+}
+
+#[test]
+fn corpus_replays_clean() {
+    let files = corpus_files();
+    assert!(!files.is_empty());
+    let mut bad = Vec::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path).unwrap();
+        if let Err(e) = replay(&src) {
+            bad.push(format!("{}: {e}", path.file_name().unwrap().to_string_lossy()));
+        }
+    }
+    assert!(bad.is_empty(), "corpus replay failures:\n{}", bad.join("\n"));
+}

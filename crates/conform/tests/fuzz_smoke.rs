@@ -1,0 +1,14 @@
+//! A small fixed-seed fuzzing run over every oracle: the same harness the
+//! CI `fuzz-smoke` job runs at higher iteration counts.
+
+use gcr_conform::{fuzz, ALL_ORACLES};
+
+#[test]
+fn smoke_all_oracles() {
+    let failures = fuzz(7, 40, &ALL_ORACLES);
+    let msgs: Vec<String> = failures
+        .iter()
+        .map(|f| format!("[{}] iter {}: {}\n{}", f.oracle, f.iter, f.message, f.minimized))
+        .collect();
+    assert!(msgs.is_empty(), "fuzz smoke failures:\n{}", msgs.join("\n---\n"));
+}

@@ -145,6 +145,11 @@ pub struct SafetyOptions {
     pub oracle: bool,
     /// Value bound to every size parameter for oracle runs.
     pub oracle_n: i64,
+    /// Second parameter size the oracle also checks (`None` disables the
+    /// extra run). Checking two sizes catches transforms that are only
+    /// accidentally correct at one size — e.g. a wrong boundary statement
+    /// masked at small `N` by an overlapping constant-guard write.
+    pub oracle_n2: Option<i64>,
     /// Time steps the oracle executes each version for.
     pub oracle_steps: usize,
     /// Interpreter fuel per oracle run ([`DEFAULT_FUEL`] when `None`).
@@ -165,6 +170,7 @@ impl Default for SafetyOptions {
             fallback: true,
             oracle: true,
             oracle_n: 12,
+            oracle_n2: Some(18),
             oracle_steps: 2,
             fuel: None,
             max_bytes: None,
@@ -184,12 +190,17 @@ impl SafetyOptions {
 }
 
 /// Reference results of the original program: per-array initial and final
-/// contents under a small binding, in logical element order.
+/// contents under one or two small bindings, in logical element order.
 struct Oracle {
-    binding: ParamBinding,
-    entries: Vec<OracleEntry>,
+    runs: Vec<OracleRun>,
     steps: usize,
     fuel: u64,
+}
+
+/// Reference data at one parameter size.
+struct OracleRun {
+    binding: ParamBinding,
+    entries: Vec<OracleEntry>,
 }
 
 struct OracleEntry {
@@ -206,6 +217,32 @@ struct Checker {
     safety: SafetyOptions,
     oracle: Option<Oracle>,
     checks: usize,
+}
+
+thread_local! {
+    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` with default panic-hook output suppressed on this thread. The
+/// `catch_unwind` sites below treat a panic as a recoverable oracle verdict
+/// (reported through the degradation ladder), so the hook's stderr message
+/// would be noise. The flag is thread-local, so concurrent callers (e.g. a
+/// fuzzing harness running pipelines on `gcr-par` workers) don't silence
+/// each other's genuine panics.
+fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+    let saved = QUIET_PANICS.with(|q| q.replace(true));
+    let out = f();
+    QUIET_PANICS.with(|q| q.set(saved));
+    out
 }
 
 fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
@@ -245,31 +282,44 @@ fn build_oracle(prog: &Program, safety: &SafetyOptions) -> Result<Option<Oracle>
     if !safety.oracle {
         return Ok(None);
     }
-    let binding = ParamBinding::new(vec![safety.oracle_n; prog.params.len()]);
+    let mut sizes = vec![safety.oracle_n];
+    if let Some(n2) = safety.oracle_n2 {
+        if n2 != safety.oracle_n {
+            sizes.push(n2);
+        }
+    }
     let fuel = safety.fuel();
     let max_bytes = safety.max_bytes();
     let steps = safety.oracle_steps;
-    let built = catch_unwind(AssertUnwindSafe(|| -> Result<Oracle, GcrError> {
-        let layout = DataLayout::column_major(prog, &binding, 0);
-        let mut m = Machine::try_with_layout(prog, binding.clone(), layout, Some(max_bytes))?;
-        let mut entries: Vec<OracleEntry> = prog
-            .arrays
-            .iter()
-            .enumerate()
-            .map(|(ai, decl)| OracleEntry {
-                name: decl.name.clone(),
-                rank: decl.rank(),
-                comps: decl.dims.first().and_then(|d| d.as_const()).map(|c| c as usize),
-                initial: m.read_array(gcr_ir::ArrayId::from_index(ai)),
-                final_: Vec::new(),
-            })
-            .collect();
-        m.run_steps_guarded(&mut NullSink, steps, fuel)?;
-        for (ai, e) in entries.iter_mut().enumerate() {
-            e.final_ = m.read_array(gcr_ir::ArrayId::from_index(ai));
-        }
-        Ok(Oracle { binding: binding.clone(), entries, steps, fuel })
-    }));
+    let built = quiet_panics(|| {
+        catch_unwind(AssertUnwindSafe(|| -> Result<Oracle, GcrError> {
+            let mut runs = Vec::with_capacity(sizes.len());
+            for n in sizes {
+                let binding = ParamBinding::new(vec![n; prog.params.len()]);
+                let layout = DataLayout::column_major(prog, &binding, 0);
+                let mut m =
+                    Machine::try_with_layout(prog, binding.clone(), layout, Some(max_bytes))?;
+                let mut entries: Vec<OracleEntry> = prog
+                    .arrays
+                    .iter()
+                    .enumerate()
+                    .map(|(ai, decl)| OracleEntry {
+                        name: decl.name.clone(),
+                        rank: decl.rank(),
+                        comps: decl.dims.first().and_then(|d| d.as_const()).map(|c| c as usize),
+                        initial: m.read_array(gcr_ir::ArrayId::from_index(ai)),
+                        final_: Vec::new(),
+                    })
+                    .collect();
+                m.run_steps_guarded(&mut NullSink, steps, fuel)?;
+                for (ai, e) in entries.iter_mut().enumerate() {
+                    e.final_ = m.read_array(gcr_ir::ArrayId::from_index(ai));
+                }
+                runs.push(OracleRun { binding, entries });
+            }
+            Ok(Oracle { runs, steps, fuel })
+        }))
+    });
     match built {
         Ok(Ok(o)) => Ok(Some(o)),
         Ok(Err(e)) => Err(e),
@@ -291,48 +341,59 @@ impl Checker {
             .map_err(|errors| GcrError::Validate { stage: stage.to_string(), errors })?;
         let Some(o) = &self.oracle else { return Ok(()) };
         let max_bytes = self.safety.max_bytes();
-        let run = catch_unwind(AssertUnwindSafe(|| -> Result<(), GcrError> {
-            let layout = mk_layout(prog, &o.binding);
-            let mut m = Machine::try_with_layout(prog, o.binding.clone(), layout, Some(max_bytes))?;
-            // Equalize initial data with the reference: same-name arrays get
-            // the reference contents directly; arrays split by the
-            // preliminary passes (`u` -> `u__1..u__k`, interleaved
-            // innermost) get their component slices.
-            for e in &o.entries {
-                if let Some(t) = prog.array_by_name(&e.name) {
-                    if prog.array(t).rank() == e.rank {
-                        m.write_array(t, &e.initial)?;
-                        continue;
+        let run = quiet_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| -> Result<(), GcrError> {
+                for r in &o.runs {
+                    let layout = mk_layout(prog, &r.binding);
+                    let mut m =
+                        Machine::try_with_layout(prog, r.binding.clone(), layout, Some(max_bytes))?;
+                    // Equalize initial data with the reference: same-name arrays
+                    // get the reference contents directly; arrays split by the
+                    // preliminary passes (`u` -> `u__1..u__k`, interleaved
+                    // innermost) get their component slices.
+                    for e in &r.entries {
+                        if let Some(t) = prog.array_by_name(&e.name) {
+                            if prog.array(t).rank() == e.rank {
+                                m.write_array(t, &e.initial)?;
+                                continue;
+                            }
+                        }
+                        let comps = split_comps(e, stage)?;
+                        for c in 0..comps {
+                            let part = split_part(prog, e, c, stage)?;
+                            let slice: Vec<f64> =
+                                e.initial.iter().skip(c).step_by(comps).copied().collect();
+                            m.write_array(part, &slice)?;
+                        }
+                    }
+                    m.run_steps_guarded(&mut NullSink, o.steps, o.fuel)?;
+                    for e in &r.entries {
+                        if e.rank == 0 {
+                            continue; // scalar reductions may reassociate across fusion
+                        }
+                        if let Some(t) = prog.array_by_name(&e.name) {
+                            if prog.array(t).rank() == e.rank {
+                                compare(stage, &e.name, &e.final_, &m.read_array(t))?;
+                                continue;
+                            }
+                        }
+                        let comps = split_comps(e, stage)?;
+                        for c in 0..comps {
+                            let part = split_part(prog, e, c, stage)?;
+                            let want: Vec<f64> =
+                                e.final_.iter().skip(c).step_by(comps).copied().collect();
+                            compare(
+                                stage,
+                                &format!("{}__{}", e.name, c + 1),
+                                &want,
+                                &m.read_array(part),
+                            )?;
+                        }
                     }
                 }
-                let comps = split_comps(e, stage)?;
-                for c in 0..comps {
-                    let part = split_part(prog, e, c, stage)?;
-                    let slice: Vec<f64> =
-                        e.initial.iter().skip(c).step_by(comps).copied().collect();
-                    m.write_array(part, &slice)?;
-                }
-            }
-            m.run_steps_guarded(&mut NullSink, o.steps, o.fuel)?;
-            for e in &o.entries {
-                if e.rank == 0 {
-                    continue; // scalar reductions may reassociate across fusion
-                }
-                if let Some(t) = prog.array_by_name(&e.name) {
-                    if prog.array(t).rank() == e.rank {
-                        compare(stage, &e.name, &e.final_, &m.read_array(t))?;
-                        continue;
-                    }
-                }
-                let comps = split_comps(e, stage)?;
-                for c in 0..comps {
-                    let part = split_part(prog, e, c, stage)?;
-                    let want: Vec<f64> = e.final_.iter().skip(c).step_by(comps).copied().collect();
-                    compare(stage, &format!("{}__{}", e.name, c + 1), &want, &m.read_array(part))?;
-                }
-            }
-            Ok(())
-        }));
+                Ok(())
+            }))
+        });
         match run {
             Ok(res) => res,
             Err(p) => Err(GcrError::Exec { why: format!("after {stage}: {}", panic_msg(p)) }),
@@ -397,7 +458,7 @@ fn attempt<T>(
     let stage = pass.to_string();
     let before = tracer.is_enabled().then(|| IrSize::of(program));
     let t0 = tracer.is_enabled().then(std::time::Instant::now);
-    let out = catch_unwind(AssertUnwindSafe(|| f(program)));
+    let out = quiet_panics(|| catch_unwind(AssertUnwindSafe(|| f(program))));
     let res = match out {
         Ok(Ok(v)) => {
             if checker.safety.inject_fault == Some(pass) {

@@ -464,6 +464,17 @@ impl<'r> Fuser<'r> {
         if lo.is_none() || hi.is_none() {
             return Fusible::No("fused bounds are incomparable");
         }
+        // Fusion folds each loop's iteration-range constraint into the
+        // member guards; a member whose own guard cannot be intersected
+        // with its loop's range statically would lose the range constraint
+        // and execute iterations the original loop never ran.
+        let absorbs = |l: &Loop| {
+            let range = l.range();
+            l.body.iter().all(|m| m.guard.as_ref().is_none_or(|g| intersect(g, &range).is_some()))
+        };
+        if !absorbs(lf) || !absorbs(lg) {
+            return Fusible::No("member guard incomparable with loop range");
+        }
         Fusible::Yes { align, peel_head: 0 }
     }
 
@@ -519,15 +530,21 @@ impl<'r> Fuser<'r> {
         let g_range = lg.range();
         for m in &mut lg.body {
             subst::rename_shift_var(&mut m.stmt, lg.var, lf.var, -a);
-            let guard = m.guard.take().unwrap_or_else(|| g_range.clone());
+            // The member stays restricted to the iterations its original
+            // loop ran: its own guard intersected with the loop range.
+            let guard = match m.guard.take() {
+                Some(g) => intersect(&g, &g_range).expect("checked in FusibleTest"),
+                None => g_range.clone(),
+            };
             m.guard = Some(guard.shift(a));
             m.outer.extend(extra_i.iter().cloned());
         }
         let f_range = lf.range();
         for m in &mut lf.body {
-            if m.guard.is_none() {
-                m.guard = Some(f_range.clone());
-            }
+            m.guard = Some(match m.guard.take() {
+                Some(g) => intersect(&g, &f_range).expect("checked in FusibleTest"),
+                None => f_range.clone(),
+            });
             m.outer.extend(extra_j.iter().cloned());
         }
         lf.lo = lf.lo.min_large(&lg.lo.add_const(a)).expect("checked in FusibleTest");
@@ -590,6 +607,13 @@ impl<'r> Fuser<'r> {
         let (Some(new_lo), Some(new_hi)) = (lf.lo.min_large(&pos), lf.hi.max_large(&pos)) else {
             return false;
         };
+        // Existing member guards must absorb the (possibly extended) range
+        // constraint; incomparable bounds make that inexpressible.
+        let range = lf.range();
+        if !lf.body.iter().all(|m| m.guard.as_ref().is_none_or(|g| intersect(g, &range).is_some()))
+        {
+            return false;
+        }
         let gi = slots[i].gs.take().unwrap();
         let arrays_i = std::mem::take(&mut slots[i].arrays);
         let gj = slots[j].gs.as_mut().unwrap();
@@ -598,9 +622,10 @@ impl<'r> Fuser<'r> {
         let Stmt::Loop(lf) = &mut gj.stmt else { unreachable!() };
         let f_range = lf.range();
         for m in &mut lf.body {
-            if m.guard.is_none() {
-                m.guard = Some(f_range.clone());
-            }
+            m.guard = Some(match m.guard.take() {
+                Some(g) => intersect(&g, &f_range).expect("checked above"),
+                None => f_range.clone(),
+            });
             m.outer.extend(extra_j.iter().cloned());
         }
         lf.lo = new_lo;
@@ -616,6 +641,12 @@ impl<'r> Fuser<'r> {
         slots[j].arrays.extend(arrays_i);
         true
     }
+}
+
+/// Intersection of two activity ranges over the same variable. `None` when
+/// the bounds cannot be compared statically (e.g. `7` vs `N - 2`).
+fn intersect(a: &Range, b: &Range) -> Option<Range> {
+    Some(Range::new(a.lo.max_large(&b.lo)?, a.hi.min_large(&b.hi)?))
 }
 
 /// Activity ranges over outer loop variables: `(variable, active range)`.

@@ -57,18 +57,25 @@ fn unroll_list(stmts: &mut Vec<GuardedStmt>, limit: i64, count: &mut usize) {
         if let Stmt::Loop(l) = &mut gs.stmt {
             unroll_list(&mut l.body, limit, count);
             if let (Some(lo), Some(hi)) = (l.lo.as_const(), l.hi.as_const()) {
-                if hi >= lo && hi - lo < limit {
+                if hi >= lo && hi - lo < limit && unrollable(l) {
                     *count += 1;
                     for x in lo..=hi {
                         for m in &l.body {
-                            debug_assert!(m.guard.is_none(), "unroll before fusion");
+                            // A member guard ranges over the unrolled
+                            // variable and resolves statically at `x`
+                            // (`unrollable` guarantees constant bounds).
+                            if let Some(g) = &m.guard {
+                                let (glo, ghi) =
+                                    (g.lo.as_const().unwrap(), g.hi.as_const().unwrap());
+                                if x < glo || x > ghi {
+                                    continue;
+                                }
+                            }
                             let mut stmt = m.stmt.clone();
                             subst::instantiate_var(&mut stmt, l.var, &LinExpr::konst(x));
-                            out.push(GuardedStmt {
-                                stmt,
-                                guard: gs.guard.clone(),
-                                outer: gs.outer.clone(),
-                            });
+                            let mut outer = gs.outer.clone();
+                            outer.extend(m.outer.iter().cloned());
+                            out.push(GuardedStmt { stmt, guard: gs.guard.clone(), outer });
                         }
                     }
                     continue;
@@ -78,6 +85,27 @@ fn unroll_list(stmts: &mut Vec<GuardedStmt>, limit: i64, count: &mut usize) {
         out.push(gs);
     }
     *stmts = out;
+}
+
+/// Whether a constant-trip loop can be unrolled without changing meaning:
+/// every member guard must resolve statically (constant bounds, checked
+/// against each instantiated value), and no statement anywhere inside may
+/// condition on the loop's variable through an `outer` range —
+/// instantiation replaces the variable in subscripts only and would leave
+/// such conditions dangling.
+fn unrollable(l: &Loop) -> bool {
+    fn no_outer_on(list: &[GuardedStmt], v: gcr_ir::VarId) -> bool {
+        list.iter().all(|m| {
+            m.outer.iter().all(|(u, _)| *u != v)
+                && match &m.stmt {
+                    Stmt::Loop(inner) => no_outer_on(&inner.body, v),
+                    Stmt::Assign(_) => true,
+                }
+        })
+    }
+    l.body.iter().all(|m| {
+        m.guard.as_ref().is_none_or(|g| g.lo.as_const().is_some() && g.hi.as_const().is_some())
+    }) && no_outer_on(&l.body, l.var)
 }
 
 // --------------------------------------------------------------------------

@@ -1,0 +1,97 @@
+//! Printer/parser round-trip over the committed program corpora, plus
+//! error-message snapshots for malformed input.
+//!
+//! Two round-trip strengths apply:
+//!
+//! * **Structural**: `parse(print(p)) == p` for any parse result — the
+//!   printer must emit something the parser maps back to the identical IR.
+//! * **Textual fixpoint**: conformance-corpus files are committed in the
+//!   printer's canonical form, so for those `print(parse(src)) == src`
+//!   exactly (modulo nothing — byte-for-byte).
+
+use std::path::PathBuf;
+
+fn loop_files(dir: &str) -> Vec<PathBuf> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(dir);
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&root)
+        .unwrap_or_else(|e| panic!("missing corpus dir {}: {e}", root.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "loop"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no .loop files under {}", root.display());
+    files
+}
+
+#[test]
+fn examples_round_trip_structurally() {
+    for path in loop_files("../../examples") {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let prog = gcr_frontend::parse(&src)
+            .unwrap_or_else(|e| panic!("{}: parse failed: {e}", path.display()));
+        let printed = gcr_ir::print::print_program(&prog);
+        let back = gcr_frontend::parse(&printed)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}\n{printed}", path.display()));
+        assert_eq!(back, prog, "{}: parse(print(p)) != p\n--- printed:\n{printed}", path.display());
+    }
+}
+
+#[test]
+fn conformance_corpus_is_a_printer_fixpoint() {
+    for path in loop_files("../conform/corpus") {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let prog = gcr_frontend::parse(&src)
+            .unwrap_or_else(|e| panic!("{}: parse failed: {e}", path.display()));
+        let printed = gcr_ir::print::print_program(&prog);
+        assert_eq!(
+            printed,
+            src,
+            "{}: corpus file is not in canonical printed form",
+            path.display()
+        );
+        let back = gcr_frontend::parse(&printed).unwrap();
+        assert_eq!(back, prog, "{}: parse(print(p)) != p", path.display());
+    }
+}
+
+/// Malformed inputs must fail with a stable, located, human-readable
+/// message — these strings are load-bearing for `gcrc` diagnostics.
+#[test]
+fn malformed_input_error_snapshots() {
+    let cases: &[(&str, &str)] = &[
+        ("param N\narray A[N]\n", "1:1: expected `program`"),
+        ("program p\nparam N, N\n", "3:1: duplicate parameter `N`"),
+        ("program p\nparam N\nfor i = 1, N { B[i] = 1.0 }\n", "3:17: unknown array `B`"),
+        (
+            "program p\nparam N\narray A[N]\nfor i = 1, N { A[2*i] = 1.0 }\n",
+            "4:18: loop variable has coefficient 2; only `i + k` subscripts are allowed",
+        ),
+        (
+            "program p\nparam N\narray A[N, N]\nfor i = 1, N { for j = 1, N { A[i+j, 1] = 1.0 } }\n",
+            "4:33: subscript uses more than one loop variable",
+        ),
+        (
+            "program p\nparam N\narray A[N]\nfor i = 1, N { A[i] 1.0 }\n",
+            "4:21: expected assignment operator, found `1`",
+        ),
+        (
+            "program p\nparam N\narray A[N]\nfor i = 1, N { A[i] = 1.0\n",
+            "5:1: unexpected end of input inside loop body",
+        ),
+        (
+            "program p\nparam N\narray A[N]\nfor i = 1, N { when q in [1, 2] A[i] = 1.0 }\n",
+            "4:23: unknown loop variable `q` in guard",
+        ),
+        ("program p\nparam N\narray A[N]\nA[1] = @\n", "4:8: unexpected character `@`"),
+        (
+            "program p\nparam N\narray A[N]\nfor i = 1, N { A[i] = nosuch(A[i]) }\n",
+            "4:29: unknown function `nosuch`",
+        ),
+    ];
+    for (src, want) in cases {
+        let err = gcr_frontend::parse(src)
+            .expect_err(&format!("malformed input parsed successfully:\n{src}"));
+        assert_eq!(&err.to_string(), want, "for input:\n{src}");
+    }
+}

@@ -93,7 +93,12 @@ pub struct VarDecl {
 
 /// A whole program: declarations plus a top-level list of loops and non-loop
 /// statements (the paper's program model).
-#[derive(Clone, Debug, Default)]
+///
+/// Equality is structural and exact — including statement/reference id
+/// counters — so `parse(print(p)) == p` holds for parser-originated
+/// programs (the conformance corpus round-trip property). Transformed
+/// programs retire ids and therefore compare by printed fixpoint instead.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Program {
     /// Program name, used in reports.
     pub name: String,

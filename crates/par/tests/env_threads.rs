@@ -1,0 +1,66 @@
+//! Integration tests for the `GCR_THREADS` environment override and the
+//! public entry points that consult it. Everything that mutates the
+//! environment lives in a single test function: the test binary runs tests
+//! on multiple threads, and `set_var` is process-global.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn gcr_threads_env_contract() {
+    // A positive integer is honored verbatim.
+    std::env::set_var("GCR_THREADS", "1");
+    assert_eq!(gcr_par::thread_count(), 1);
+    std::env::set_var("GCR_THREADS", "3");
+    assert_eq!(gcr_par::thread_count(), 3);
+
+    // `GCR_THREADS=1` forces serial execution in the calling thread:
+    // thread-local state mutated by the closure is visible to the caller.
+    std::env::set_var("GCR_THREADS", "1");
+    thread_local! { static HITS: std::cell::Cell<u32> = const { std::cell::Cell::new(0) }; }
+    HITS.with(|h| h.set(0));
+    let out = gcr_par::scope_map(&[10u32, 20, 30], |&x| {
+        HITS.with(|h| h.set(h.get() + 1));
+        x / 10
+    });
+    assert_eq!(out, vec![1, 2, 3]);
+    assert_eq!(HITS.with(|h| h.get()), 3, "GCR_THREADS=1 must not spawn workers");
+
+    // Zero and garbage fall back to the default (≥ 1), not a panic.
+    for bad in ["0", "-2", "lots", ""] {
+        std::env::set_var("GCR_THREADS", bad);
+        assert!(gcr_par::thread_count() >= 1, "GCR_THREADS={bad:?}");
+    }
+
+    // Empty input and a single item work under the env-selected pool too.
+    std::env::set_var("GCR_THREADS", "4");
+    let empty: Vec<u32> = Vec::new();
+    assert!(gcr_par::scope_map(&empty, |&x| x).is_empty());
+    assert_eq!(gcr_par::scope_map(&[5u32], |&x| x * x), vec![25]);
+
+    // par_for_each distributes every item exactly once.
+    let seen = std::sync::atomic::AtomicU32::new(0);
+    gcr_par::par_for_each(&[1u32, 2, 4, 8], |&x| {
+        seen.fetch_add(x, std::sync::atomic::Ordering::Relaxed);
+    });
+    assert_eq!(seen.load(std::sync::atomic::Ordering::Relaxed), 15);
+
+    // A worker panic surfaces on the caller with its original message even
+    // when the pool came from the environment.
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        gcr_par::scope_map(&(0..16).collect::<Vec<u32>>(), |&x| {
+            if x == 9 {
+                panic!("env pool boom {x}");
+            }
+            x
+        })
+    }))
+    .unwrap_err();
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("env pool boom 9"), "payload lost: {msg:?}");
+
+    std::env::remove_var("GCR_THREADS");
+}
