@@ -138,6 +138,8 @@ fn main() {
         wall_ns,
         memo_hits: cache.hits(),
         memo_misses: cache.misses(),
+        memo_evictions: cache.evictions(),
+        memo_corrupt: cache.corrupt(),
     });
     match set.write(&json_path) {
         Ok(()) => println!("\nJSON report set ({} runs) written to {json_path}", set.reports.len()),

@@ -74,8 +74,12 @@ fn main() {
         print!("{text}");
         set.reports.push(report);
     }
-    set.timing =
-        Some(SweepTiming { threads, wall_ns, memo_hits: 0, memo_misses: jobs.len() as u64 });
+    set.timing = Some(SweepTiming {
+        threads,
+        wall_ns,
+        memo_misses: jobs.len() as u64,
+        ..SweepTiming::default()
+    });
     match set.write(&json_path) {
         Ok(()) => {
             println!("\nJSON report set ({} plots) written to {json_path}", set.reports.len())

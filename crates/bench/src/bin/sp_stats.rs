@@ -95,7 +95,8 @@ fn main() {
             set.reports.push(report);
         }
     }
-    set.timing = Some(SweepTiming { threads, wall_ns, memo_hits: 0, memo_misses: njobs });
+    set.timing =
+        Some(SweepTiming { threads, wall_ns, memo_misses: njobs, ..SweepTiming::default() });
     match set.write(&json_path) {
         Ok(()) => println!("\nJSON report set ({} runs) written to {json_path}", set.reports.len()),
         Err(e) => eprintln!("could not write {json_path}: {e}"),

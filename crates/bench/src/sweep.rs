@@ -96,18 +96,95 @@ pub struct CachedRun {
     pub phases: Vec<(String, MissCounts)>,
 }
 
-/// Header line of the on-disk cache format.
-const DISK_SCHEMA: &str = "gcr-measure-cache/v1";
+/// Header line of the on-disk cache format. `v2` adds a per-entry
+/// checksum trailer (`k <fnv64>`), which is what makes torn writes,
+/// truncation, and bit flips *detectable* instead of silently poisoning
+/// measurements.
+const DISK_SCHEMA: &str = "gcr-measure-cache/v2";
 
-/// A concurrent content-keyed measurement cache, optionally persisted to a
-/// file so separate processes (the base `fig10` run and its `--ablation`
-/// superset) share points.
-#[derive(Default)]
+/// Default capacity (entries) of the in-memory LRU; override with
+/// `GCR_MEASURE_CACHE_CAP`. Entries are a few hundred bytes, so the
+/// default bounds the cache at a few MiB while being far above any
+/// one sweep's working set.
+pub const DEFAULT_CAPACITY: usize = 1 << 14;
+
+/// Snapshot of the cache's health counters, surfaced in report JSON
+/// (`SweepTiming`) and in the `gcr-serve` `report` response.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the measurement.
+    pub misses: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub evictions: u64,
+    /// Corrupt disk entries (or whole quarantined files) detected.
+    pub corrupt: u64,
+    /// Poisoned-lock recoveries (a panicking request died mid-access).
+    pub poisoned: u64,
+}
+
+struct Entry {
+    run: CachedRun,
+    /// LRU recency stamp: the global tick at last touch.
+    tick: u64,
+}
+
+/// A concurrent, crash-safe, content-keyed measurement cache, optionally
+/// persisted to a file so separate processes (the base `fig10` run and
+/// its `--ablation` superset, or a restarted `gcr-serve` daemon) share
+/// points.
+///
+/// Robustness properties:
+///
+/// * **Atomic persistence** — [`MeasureCache::save`] writes a temp file
+///   and renames it over the target, so a crash mid-flush leaves the old
+///   file intact, never a torn one.
+/// * **Corruption detection & quarantine** — every on-disk entry carries
+///   an FNV-64 checksum. A truncated, bit-flipped or otherwise mangled
+///   entry is skipped (and counted) at load; a file with a wrong or
+///   missing schema header is renamed to `<path>.quarantined` so the
+///   evidence survives. Either way the affected measurements are simply
+///   recomputed — corruption costs time, never correctness.
+/// * **Bounded memory** — at most `capacity` entries are held; inserting
+///   past the bound evicts the least-recently-used entry.
+/// * **Panic tolerance** — a thread that dies while holding the map lock
+///   poisons it; subsequent accesses recover (the map's invariants hold
+///   across unwinds) and count the event instead of cascading the crash.
 pub struct MeasureCache {
-    map: Mutex<HashMap<u64, CachedRun>>,
+    map: Mutex<HashMap<u64, Entry>>,
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    corrupt: AtomicU64,
+    poisoned: AtomicU64,
+    capacity: usize,
     disk: Option<String>,
+}
+
+impl Default for MeasureCache {
+    fn default() -> MeasureCache {
+        MeasureCache {
+            map: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+            capacity: capacity_from_env(),
+            disk: None,
+        }
+    }
+}
+
+fn capacity_from_env() -> usize {
+    std::env::var("GCR_MEASURE_CACHE_CAP")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_CAPACITY)
 }
 
 impl MeasureCache {
@@ -116,19 +193,45 @@ impl MeasureCache {
         MeasureCache::default()
     }
 
+    /// An empty in-memory cache holding at most `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> MeasureCache {
+        MeasureCache { capacity: capacity.max(1), ..MeasureCache::default() }
+    }
+
     /// A cache persisted at `path`: pre-loaded from the file when it
-    /// exists (unreadable or mis-versioned files are ignored, not fatal),
-    /// written back by [`MeasureCache::save`].
+    /// exists (corrupt entries are skipped and counted, mis-versioned
+    /// files are quarantined — never fatal), written back by
+    /// [`MeasureCache::save`].
     pub fn with_disk(path: impl Into<String>) -> MeasureCache {
         let path = path.into();
-        let mut cache = MeasureCache::new();
+        let cache = MeasureCache::new();
         if let Ok(text) = std::fs::read_to_string(&path) {
-            if let Some(entries) = parse_disk(&text) {
-                cache.map = Mutex::new(entries);
+            match parse_disk(&text) {
+                DiskParse::Entries { entries, corrupt } => {
+                    let mut map = cache.map.lock().unwrap();
+                    for (key, run) in entries {
+                        let tick = cache.tick.fetch_add(1, Ordering::Relaxed);
+                        map.insert(key, Entry { run, tick });
+                    }
+                    drop(map);
+                    cache.corrupt.fetch_add(corrupt, Ordering::Relaxed);
+                }
+                DiskParse::WrongSchema => {
+                    // Not ours (or a pre-checksum version): move the file
+                    // aside so the bytes survive for inspection and the
+                    // next save starts clean.
+                    cache.corrupt.fetch_add(1, Ordering::Relaxed);
+                    let quarantine = format!("{path}.quarantined");
+                    if std::fs::rename(&path, &quarantine).is_ok() {
+                        eprintln!(
+                            "gcr-measure-cache: {path} has a foreign or outdated header; \
+                             quarantined to {quarantine}"
+                        );
+                    }
+                }
             }
         }
-        cache.disk = Some(path);
-        cache
+        MeasureCache { disk: Some(path), ..cache }
     }
 
     /// The cache configured by `GCR_MEASURE_CACHE` (a file path), or a
@@ -140,9 +243,20 @@ impl MeasureCache {
         }
     }
 
-    /// Looks up a key, counting the hit or miss.
+    fn map(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Entry>> {
+        gcr_par::isolate::lock_recover(&self.map, &self.poisoned)
+    }
+
+    /// Looks up a key, counting the hit or miss and refreshing the
+    /// entry's LRU recency on a hit.
     pub fn lookup(&self, key: u64) -> Option<CachedRun> {
-        let got = self.map.lock().unwrap().get(&key).cloned();
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map();
+        let got = map.get_mut(&key).map(|e| {
+            e.tick = tick;
+            e.run.clone()
+        });
+        drop(map);
         match got {
             Some(run) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -155,9 +269,21 @@ impl MeasureCache {
         }
     }
 
-    /// Stores a measurement under its key.
+    /// Stores a measurement under its key, evicting the least-recently
+    /// used entries if the capacity bound is exceeded.
     pub fn insert(&self, key: u64, run: CachedRun) {
-        self.map.lock().unwrap().insert(key, run);
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map();
+        map.insert(key, Entry { run, tick });
+        while map.len() > self.capacity {
+            // O(n) victim scan; capacities are small enough (≤ tens of
+            // thousands) that this stays invisible next to a simulation.
+            let Some(victim) = map.iter().min_by_key(|(_, e)| e.tick).map(|(&k, _)| k) else {
+                break;
+            };
+            map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Lookups answered from the cache so far.
@@ -170,9 +296,30 @@ impl MeasureCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted by the capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Corrupt disk entries (or quarantined files) detected so far.
+    pub fn corrupt(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+
+    /// All health counters as one snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+            corrupt: self.corrupt(),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
+        }
+    }
+
     /// Distinct measurements held.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.map().len()
     }
 
     /// True when no measurement is cached.
@@ -181,30 +328,52 @@ impl MeasureCache {
     }
 
     /// Writes the cache back to its configured file (no-op for in-memory
-    /// caches). Entries are sorted by key so the file is deterministic.
+    /// caches). Entries are sorted by key so the file is deterministic,
+    /// and the write is atomic: content goes to a sibling temp file which
+    /// is renamed over the target, so a crash mid-flush can tear the temp
+    /// file but never the cache. Carries the `io_error` and
+    /// `torn_cache_write` `GCR_FAULT` injection points.
     pub fn save(&self) -> std::io::Result<()> {
+        use gcr_par::fault;
         let Some(path) = &self.disk else { return Ok(()) };
-        let map = self.map.lock().unwrap();
+        let map = self.map();
         let mut keys: Vec<&u64> = map.keys().collect();
         keys.sort();
         let mut out = String::new();
         out.push_str(DISK_SCHEMA);
         out.push('\n');
         for k in keys {
-            let run = &map[k];
-            render_entry(&mut out, *k, run);
+            render_entry(&mut out, *k, &map[k].run);
         }
-        std::fs::write(path, out)
+        drop(map);
+        fault::maybe_io_error(fault::FaultPoint::IoError, "measure-cache flush")?;
+        if fault::fires(fault::FaultPoint::TornCacheWrite) {
+            // Chaos hook: behave like the pre-v2 non-atomic writer dying
+            // mid-write — half the bytes land in the *final* path. The
+            // next load must detect this and self-heal.
+            let torn = &out.as_bytes()[..out.len() / 2];
+            return std::fs::write(path, torn);
+        }
+        let tmp = format!("{path}.tmp.{}", std::process::id());
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
     }
 }
 
+fn render_counts(out: &mut String, c: &MissCounts) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{} {} {} {} {}", c.refs, c.l1, c.l2, c.tlb, c.memory_traffic);
+}
+
+/// Renders one entry block: the `e` line, `p` phase lines, then a `k`
+/// checksum line covering the exact bytes of the block above it.
 fn render_entry(out: &mut String, key: u64, run: &CachedRun) {
     use std::fmt::Write as _;
-    let m = |out: &mut String, c: &MissCounts| {
-        let _ = write!(out, "{} {} {} {} {}", c.refs, c.l1, c.l2, c.tlb, c.memory_traffic);
-    };
+    let mut block = String::new();
     let _ = write!(
-        out,
+        block,
         "e {key:016x} {:016x} {} {} {} {} ",
         run.cycles.to_bits(),
         run.stats.instances,
@@ -212,45 +381,97 @@ fn render_entry(out: &mut String, key: u64, run: &CachedRun) {
         run.stats.reads,
         run.stats.writes
     );
-    m(out, &run.misses);
-    let _ = writeln!(out, " {}", run.phases.len());
+    render_counts(&mut block, &run.misses);
+    let _ = writeln!(block, " {}", run.phases.len());
     for (label, c) in &run.phases {
-        out.push_str("p ");
-        m(out, c);
+        block.push_str("p ");
+        render_counts(&mut block, c);
         // Label last: it may contain spaces, the counters cannot.
-        let _ = writeln!(out, " {label}");
+        let _ = writeln!(block, " {label}");
     }
+    let _ = writeln!(block, "k {:016x}", fnv1a(block.as_bytes()));
+    out.push_str(&block);
 }
 
-fn parse_disk(text: &str) -> Option<HashMap<u64, CachedRun>> {
-    let mut lines = text.lines();
-    if lines.next()? != DISK_SCHEMA {
+enum DiskParse {
+    /// Parsed (possibly partially): intact entries plus the number of
+    /// corrupt blocks that were skipped.
+    Entries { entries: Vec<(u64, CachedRun)>, corrupt: u64 },
+    /// The header is not this format's — quarantine the whole file.
+    WrongSchema,
+}
+
+/// Parses one entry block starting at `lines[at]` (which begins with
+/// `"e "`). Returns the parsed entry and the index one past its checksum
+/// line, or `None` if the block is truncated, mangled, or fails its
+/// checksum.
+fn parse_entry(lines: &[&str], at: usize) -> Option<(u64, CachedRun, usize)> {
+    let mut f = lines[at].strip_prefix("e ")?.split_ascii_whitespace();
+    let key = u64::from_str_radix(f.next()?, 16).ok()?;
+    let cycles = f64::from_bits(u64::from_str_radix(f.next()?, 16).ok()?);
+    let mut n = || f.next()?.parse::<u64>().ok();
+    let stats = ExecStats { instances: n()?, flops: n()?, reads: n()?, writes: n()? };
+    let mut counts = || -> Option<MissCounts> {
+        Some(MissCounts { refs: n()?, l1: n()?, l2: n()?, tlb: n()?, memory_traffic: n()? })
+    };
+    let misses = counts()?;
+    let nphases = n()? as usize;
+    let mut phases = Vec::with_capacity(nphases);
+    for i in 0..nphases {
+        let pline = lines.get(at + 1 + i)?.strip_prefix("p ")?;
+        let mut f = pline.splitn(6, ' ');
+        let mut n = || f.next()?.parse::<u64>().ok();
+        let c = MissCounts { refs: n()?, l1: n()?, l2: n()?, tlb: n()?, memory_traffic: n()? };
+        phases.push((f.next()?.to_string(), c));
+    }
+    let kline = lines.get(at + 1 + nphases)?.strip_prefix("k ")?;
+    let want = u64::from_str_radix(kline.trim(), 16).ok()?;
+    // Recompute the checksum over the block's exact rendered bytes.
+    let mut block = String::new();
+    for line in &lines[at..at + 1 + nphases] {
+        block.push_str(line);
+        block.push('\n');
+    }
+    if fnv1a(block.as_bytes()) != want {
         return None;
     }
-    let mut map = HashMap::new();
-    let mut lines = lines.peekable();
-    while let Some(line) = lines.next() {
-        let mut f = line.strip_prefix("e ")?.split_ascii_whitespace();
-        let key = u64::from_str_radix(f.next()?, 16).ok()?;
-        let cycles = f64::from_bits(u64::from_str_radix(f.next()?, 16).ok()?);
-        let mut n = || f.next()?.parse::<u64>().ok();
-        let stats = ExecStats { instances: n()?, flops: n()?, reads: n()?, writes: n()? };
-        let mut counts = || -> Option<MissCounts> {
-            Some(MissCounts { refs: n()?, l1: n()?, l2: n()?, tlb: n()?, memory_traffic: n()? })
-        };
-        let misses = counts()?;
-        let nphases = n()? as usize;
-        let mut phases = Vec::with_capacity(nphases);
-        for _ in 0..nphases {
-            let pline = lines.next()?.strip_prefix("p ")?;
-            let mut f = pline.splitn(6, ' ');
-            let mut n = || f.next()?.parse::<u64>().ok();
-            let c = MissCounts { refs: n()?, l1: n()?, l2: n()?, tlb: n()?, memory_traffic: n()? };
-            phases.push((f.next()?.to_string(), c));
-        }
-        map.insert(key, CachedRun { stats, misses, cycles, phases });
+    Some((key, CachedRun { stats, misses, cycles, phases }, at + 2 + nphases))
+}
+
+fn parse_disk(text: &str) -> DiskParse {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.first() != Some(&DISK_SCHEMA) {
+        return DiskParse::WrongSchema;
     }
-    Some(map)
+    let mut entries = Vec::new();
+    let mut corrupt = 0u64;
+    let mut at = 1;
+    while at < lines.len() {
+        if !lines[at].starts_with("e ") {
+            // Stray line (torn phase list, garbage): count once and resync
+            // at the next entry head.
+            corrupt += 1;
+            at += 1;
+            while at < lines.len() && !lines[at].starts_with("e ") {
+                at += 1;
+            }
+            continue;
+        }
+        match parse_entry(&lines, at) {
+            Some((key, run, next)) => {
+                entries.push((key, run));
+                at = next;
+            }
+            None => {
+                corrupt += 1;
+                at += 1;
+                while at < lines.len() && !lines[at].starts_with("e ") {
+                    at += 1;
+                }
+            }
+        }
+    }
+    DiskParse::Entries { entries, corrupt }
 }
 
 // ---------------------------------------------------------------------------
@@ -303,6 +524,10 @@ pub fn measure_strategy_report_cached_with(
     let run = match cache.lookup(key) {
         Some(run) => run,
         None => {
+            // `GCR_FAULT=slow_sim` chaos hook: stall the expensive path a
+            // deadline-driven caller actually waits on. Inert unless the
+            // environment arms it.
+            gcr_par::fault::maybe_sleep(gcr_par::fault::FaultPoint::SlowSim);
             let mut machine = Machine::try_with_layout(
                 &opt.program,
                 bind,
@@ -521,10 +746,80 @@ mod tests {
     }
 
     #[test]
-    fn disk_cache_rejects_foreign_files() {
-        assert!(parse_disk("not-a-cache\n").is_none());
-        assert!(parse_disk("gcr-measure-cache/v1\ngarbage line\n").is_none());
-        assert!(parse_disk("gcr-measure-cache/v1\n").map(|m| m.is_empty()).unwrap_or(false));
+    fn disk_parse_quarantines_foreign_and_skips_garbage() {
+        assert!(matches!(parse_disk("not-a-cache\n"), DiskParse::WrongSchema));
+        // The pre-checksum v1 format is treated as foreign: its entries
+        // carry no integrity information, so trusting them would defeat
+        // the corruption detection the format migration paid for.
+        assert!(matches!(parse_disk("gcr-measure-cache/v1\n"), DiskParse::WrongSchema));
+        match parse_disk("gcr-measure-cache/v2\ngarbage line\n") {
+            DiskParse::Entries { entries, corrupt } => {
+                assert!(entries.is_empty());
+                assert_eq!(corrupt, 1);
+            }
+            DiskParse::WrongSchema => panic!("v2 header must parse"),
+        }
+        match parse_disk("gcr-measure-cache/v2\n") {
+            DiskParse::Entries { entries, corrupt } => {
+                assert!(entries.is_empty());
+                assert_eq!(corrupt, 0);
+            }
+            DiskParse::WrongSchema => panic!("v2 header must parse"),
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_and_checksum_rejects_flips() {
+        let run = CachedRun {
+            stats: ExecStats { instances: 4, flops: 9, reads: 20, writes: 10 },
+            misses: MissCounts { refs: 30, l1: 5, l2: 2, tlb: 1, memory_traffic: 256 },
+            cycles: 123.5,
+            phases: vec![(
+                "phase with spaces".into(),
+                MissCounts { refs: 30, l1: 5, l2: 2, tlb: 1, memory_traffic: 256 },
+            )],
+        };
+        let mut text = String::from("gcr-measure-cache/v2\n");
+        render_entry(&mut text, 0xabcd, &run);
+        match parse_disk(&text) {
+            DiskParse::Entries { entries, corrupt } => {
+                assert_eq!(corrupt, 0);
+                assert_eq!(entries, vec![(0xabcd, run.clone())]);
+            }
+            DiskParse::WrongSchema => panic!("round trip lost the header"),
+        }
+        // One flipped digit anywhere in the block must fail the checksum.
+        let flipped = text.replacen("20", "21", 1);
+        assert_ne!(flipped, text, "test must actually flip a byte");
+        match parse_disk(&flipped) {
+            DiskParse::Entries { entries, corrupt } => {
+                assert!(entries.is_empty(), "corrupt entry must not load");
+                assert_eq!(corrupt, 1);
+            }
+            DiskParse::WrongSchema => panic!("header untouched"),
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_hits_refresh() {
+        let cache = MeasureCache::with_capacity(2);
+        let run = |cycles: f64| CachedRun {
+            stats: ExecStats::default(),
+            misses: MissCounts::default(),
+            cycles,
+            phases: Vec::new(),
+        };
+        cache.insert(1, run(1.0));
+        cache.insert(2, run(2.0));
+        assert!(cache.lookup(1).is_some(), "touch 1 so 2 is the LRU victim");
+        cache.insert(3, run(3.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.lookup(1).is_some(), "recently used survives");
+        assert!(cache.lookup(3).is_some(), "new entry survives");
+        assert!(cache.lookup(2).is_none(), "LRU victim evicted");
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.evictions, c.corrupt), (3, 1, 1, 0));
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Disk-cache corruption regression suite: truncated, bit-flipped, and
+//! wrong-version `gcr-measure-cache` files must be *detected*, the bad
+//! state *quarantined*, and the affected measurements *recomputed* — with
+//! results byte-identical to a cold run and golden health counters
+//! proving exactly which recovery path fired.
+
+use gcr_bench::sweep::{measure_strategy_report_cached, MeasureCache};
+use gcr_core::pipeline::Strategy;
+
+/// A fresh per-test scratch directory (the test binary may run tests in
+/// parallel, so paths carry the test name).
+fn scratch(test: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("gcr-cache-corruption-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Measures two distinct points through `cache`, returning the normalized
+/// report JSON of both (the byte-identity oracle).
+fn measure_two(cache: &MeasureCache) -> Vec<String> {
+    let apps = gcr_apps::evaluation_apps();
+    let adi = apps.iter().find(|a| a.name == "ADI").unwrap();
+    [Strategy::Original, Strategy::FusionOnly { levels: 3 }]
+        .into_iter()
+        .map(|s| {
+            let (_, report, _) = measure_strategy_report_cached(cache, "t", adi, s, 14, 1).unwrap();
+            report.normalized().to_json()
+        })
+        .collect()
+}
+
+/// Writes a warm two-entry cache file and returns (path, cold reports).
+fn seeded_cache(dir: &std::path::Path) -> (String, Vec<String>) {
+    let path = dir.join("cache.txt").to_str().unwrap().to_string();
+    let cache = MeasureCache::with_disk(path.clone());
+    let cold = measure_two(&cache);
+    assert_eq!((cache.hits(), cache.misses(), cache.corrupt()), (0, 2, 0));
+    cache.save().unwrap();
+    (path, cold)
+}
+
+#[test]
+fn truncated_file_quarantines_tail_and_recomputes() {
+    let dir = scratch("truncated");
+    let (path, cold) = seeded_cache(&dir);
+    // Tear the file mid-way through the second entry, as a crash during a
+    // (pre-atomic-rename) write would have.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let cut = text.len() * 2 / 3;
+    std::fs::write(&path, &text.as_bytes()[..cut]).unwrap();
+
+    let warm = MeasureCache::with_disk(path.clone());
+    assert_eq!(warm.len(), 1, "the intact leading entry must survive");
+    assert_eq!(warm.corrupt(), 1, "the torn tail must be detected");
+    let healed = measure_two(&warm);
+    assert_eq!(healed, cold, "recomputed results must be byte-identical to the cold run");
+    // Golden counters: one served from the surviving entry, one recomputed.
+    let c = warm.counters();
+    assert_eq!((c.hits, c.misses, c.evictions, c.corrupt), (1, 1, 0, 1), "{c:?}");
+
+    // Self-heal is durable: a clean save then reload is fully warm.
+    warm.save().unwrap();
+    let again = MeasureCache::with_disk(path);
+    assert_eq!((again.len(), again.corrupt()), (2, 0));
+    assert_eq!(measure_two(&again), cold);
+    assert_eq!((again.hits(), again.misses()), (2, 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flip_fails_checksum_and_recomputes() {
+    let dir = scratch("bitflip");
+    let (path, cold) = seeded_cache(&dir);
+    // Flip one payload byte in the first entry block (a counter digit),
+    // leaving the line structurally valid — only the checksum can catch it.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let first_e = bytes.windows(2).position(|w| w == b"e ").unwrap();
+    let digit =
+        (first_e..bytes.len()).find(|&i| bytes[i].is_ascii_digit() && bytes[i] != b'9').unwrap();
+    bytes[digit] += 1;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let warm = MeasureCache::with_disk(path);
+    assert_eq!(warm.len(), 1, "only the untouched entry may load");
+    assert_eq!(warm.corrupt(), 1, "the flipped entry must fail its checksum");
+    assert_eq!(measure_two(&warm), cold, "the poisoned measurement must be recomputed");
+    let c = warm.counters();
+    assert_eq!((c.hits, c.misses, c.evictions, c.corrupt), (1, 1, 0, 1), "{c:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrong_version_file_is_quarantined_whole() {
+    let dir = scratch("wrongver");
+    let path = dir.join("cache.txt").to_str().unwrap().to_string();
+    // A v1-era file: right family, no per-entry checksums — untrustworthy.
+    std::fs::write(&path, "gcr-measure-cache/v1\ne 0000000000000001 bogus\n").unwrap();
+
+    let cache = MeasureCache::with_disk(path.clone());
+    assert_eq!(cache.len(), 0, "no entry of a foreign file may load");
+    assert_eq!(cache.corrupt(), 1);
+    assert!(
+        std::path::Path::new(&format!("{path}.quarantined")).exists(),
+        "the foreign bytes must be preserved for inspection"
+    );
+    let cold = measure_two(&cache);
+    let c = cache.counters();
+    assert_eq!((c.hits, c.misses, c.evictions, c.corrupt), (0, 2, 0, 1), "{c:?}");
+
+    // The quarantined path is now clean to save and reload.
+    cache.save().unwrap();
+    let warm = MeasureCache::with_disk(path);
+    assert_eq!((warm.len(), warm.corrupt()), (2, 0));
+    assert_eq!(measure_two(&warm), cold);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn atomic_save_leaves_no_temp_files() {
+    let dir = scratch("atomic");
+    let (path, _) = seeded_cache(&dir);
+    let survivors: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert_eq!(survivors, vec!["cache.txt"], "temp file must be renamed away");
+    // And the rename-over is a full replacement: saving a cache with one
+    // extra entry yields a file whose reload sees all three.
+    let cache = MeasureCache::with_disk(path.clone());
+    let apps = gcr_apps::evaluation_apps();
+    let sp = apps.iter().find(|a| a.name == "SP").unwrap();
+    measure_strategy_report_cached(&cache, "t", sp, Strategy::Original, 8, 1).unwrap();
+    cache.save().unwrap();
+    assert_eq!(MeasureCache::with_disk(path).len(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}

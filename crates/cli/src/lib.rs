@@ -155,17 +155,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, GcrError> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--strategy" => {
-                o.strategy = match value(&mut it, "--strategy")?.as_str() {
-                    "original" => Strategy::Original,
-                    "sgi" => Strategy::Sgi,
-                    "fuse" => Strategy::FusionOnly { levels: 3 },
-                    "fuse1" => Strategy::FusionOnly { levels: 1 },
-                    "fuse+group" => {
-                        Strategy::FusionRegroup { levels: 3, regroup: RegroupLevel::Multi }
-                    }
-                    "group" => Strategy::RegroupOnly,
-                    other => return Err(usage_err(format!("unknown strategy `{other}`\n{USAGE}"))),
-                };
+                let name = value(&mut it, "--strategy")?;
+                o.strategy = Strategy::from_name(&name)
+                    .ok_or_else(|| usage_err(format!("unknown strategy `{name}`\n{USAGE}")))?;
             }
             "--no-emit" => o.emit = false,
             "--summary" => o.summary = true,

@@ -158,6 +158,189 @@ impl Json {
             }
         }
     }
+
+    /// Parses JSON text back into a tree — the inverse of [`Json::render`].
+    ///
+    /// Integers without a sign come back as `U`, negative integers as `I`,
+    /// anything with a fraction or exponent as `F`. Object keys are leaked
+    /// to `&'static str` to fit the literal-keyed `O` variant: this is for
+    /// re-reading the small report files this module writes (so a tool can
+    /// merge a section into an existing report), not for arbitrary or
+    /// adversarial input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let b = text.as_bytes();
+        let mut i = 0usize;
+        let v = parse_value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing data at byte {i}"));
+        }
+        Ok(v)
+    }
+
+    /// Looks up `key` in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::O(fields) => fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn expect_lit(b: &[u8], i: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("expected `{lit}` at byte {i}", i = *i))
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*i], b'"');
+    *i += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = b.get(*i) else { return Err("unterminated string".into()) };
+        *i += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&e) = b.get(*i) else { return Err("unterminated escape".into()) };
+                *i += 1;
+                match e {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*i..*i + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("bad \\u escape")?;
+                        *i += 4;
+                        // Surrogate pairs are not produced by `render` (it
+                        // only \u-escapes control characters); map lone
+                        // surrogates to the replacement character.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("bad escape `\\{}`", e as char)),
+                }
+            }
+            _ => {
+                // Re-decode the UTF-8 sequence starting at c.
+                let start = *i - 1;
+                let len = match c {
+                    _ if c < 0x80 => 1,
+                    _ if c >= 0xf0 => 4,
+                    _ if c >= 0xe0 => 3,
+                    _ => 2,
+                };
+                let s = b
+                    .get(start..start + len)
+                    .and_then(|s| std::str::from_utf8(s).ok())
+                    .ok_or("bad UTF-8 in string")?;
+                out.push_str(s);
+                *i = start + len;
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    let start = *i;
+    while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *i += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*i]).map_err(|_| "bad number")?;
+    if s.is_empty() {
+        return Err(format!("expected a value at byte {start}"));
+    }
+    if !s.contains(['.', 'e', 'E']) {
+        if let Ok(u) = s.parse::<u64>() {
+            return Ok(Json::U(u));
+        }
+        if let Ok(n) = s.parse::<i64>() {
+            return Ok(Json::I(n));
+        }
+    }
+    s.parse::<f64>().map(Json::F).map_err(|_| format!("bad number `{s}`"))
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    skip_ws(b, i);
+    let Some(&c) = b.get(*i) else { return Err("unexpected end of input".into()) };
+    match c {
+        b'n' => expect_lit(b, i, "null", Json::Null),
+        b't' => expect_lit(b, i, "true", Json::Bool(true)),
+        b'f' => expect_lit(b, i, "false", Json::Bool(false)),
+        b'"' => parse_string(b, i).map(Json::S),
+        b'[' => {
+            *i += 1;
+            let mut items = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(Json::A(items));
+            }
+            loop {
+                items.push(parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(Json::A(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {i}", i = *i)),
+                }
+            }
+        }
+        b'{' => {
+            *i += 1;
+            let mut fields: Vec<(&'static str, Json)> = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(Json::O(fields));
+            }
+            loop {
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b'"') {
+                    return Err(format!("expected a key at byte {i}", i = *i));
+                }
+                let key = parse_string(b, i)?;
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {i}", i = *i));
+                }
+                *i += 1;
+                let value = parse_value(b, i)?;
+                fields.push((Box::leak(key.into_boxed_str()), value));
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(Json::O(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {i}", i = *i)),
+                }
+            }
+        }
+        _ => parse_number(b, i),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -664,7 +847,7 @@ fn sim_json(s: &SimSection) -> Json {
 /// machine-dependent by nature, so the section is *optional* and stripped
 /// by [`ReportSet::normalized`] — two sweeps of the same inputs compare
 /// byte-identical modulo this section.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct SweepTiming {
     /// Worker threads used (1 = serial).
     pub threads: usize,
@@ -674,6 +857,11 @@ pub struct SweepTiming {
     pub memo_hits: u64,
     /// Measurements actually executed.
     pub memo_misses: u64,
+    /// Cache entries evicted by the LRU capacity bound during the sweep.
+    pub memo_evictions: u64,
+    /// Corrupt disk-cache entries detected (and transparently recomputed)
+    /// when the sweep's persistent cache was loaded.
+    pub memo_corrupt: u64,
 }
 
 impl SweepTiming {
@@ -683,6 +871,8 @@ impl SweepTiming {
             ("wall_ns", Json::U(self.wall_ns)),
             ("memo_hits", Json::U(self.memo_hits)),
             ("memo_misses", Json::U(self.memo_misses)),
+            ("memo_evictions", Json::U(self.memo_evictions)),
+            ("memo_corrupt", Json::U(self.memo_corrupt)),
         ])
     }
 }
@@ -766,6 +956,28 @@ mod tests {
         assert!(s.contains("\"o\": {}"), "{s}");
         assert!(s.contains("\"nan\": null"), "{s}");
         assert!(s.contains("\"f\": 2.0"), "{s}");
+    }
+
+    #[test]
+    fn json_parse_round_trips() {
+        let v = Json::O(vec![
+            ("s", Json::S("a\"b\\c\nd — π".into())),
+            ("u", Json::U(u64::MAX)),
+            ("i", Json::I(-7)),
+            ("f", Json::F(2.5)),
+            ("fi", Json::F(2.0)),
+            ("b", Json::Bool(true)),
+            ("n", Json::Null),
+            ("a", Json::A(vec![Json::U(1), Json::O(vec![("k", Json::S("v".into()))])])),
+        ]);
+        let back = Json::parse(&v.render()).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back.get("i"), Some(&Json::I(-7)));
+        assert_eq!(back.get("missing"), None);
+        assert!(Json::parse("{\"k\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("42 junk").is_err());
+        assert_eq!(Json::parse(" 42 ").unwrap(), Json::U(42));
     }
 
     #[test]

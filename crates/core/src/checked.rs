@@ -219,41 +219,15 @@ struct Checker {
     checks: usize,
 }
 
-thread_local! {
-    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
-
-/// Runs `f` with default panic-hook output suppressed on this thread. The
-/// `catch_unwind` sites below treat a panic as a recoverable oracle verdict
-/// (reported through the degradation ladder), so the hook's stderr message
-/// would be noise. The flag is thread-local, so concurrent callers (e.g. a
-/// fuzzing harness running pipelines on `gcr-par` workers) don't silence
-/// each other's genuine panics.
-fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
-    static INSTALL: std::sync::Once = std::sync::Once::new();
-    INSTALL.call_once(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if !QUIET_PANICS.with(|q| q.get()) {
-                prev(info);
-            }
-        }));
-    });
-    let saved = QUIET_PANICS.with(|q| q.replace(true));
-    let out = f();
-    QUIET_PANICS.with(|q| q.set(saved));
-    out
-}
-
-fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = p.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = p.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "pass panicked".to_string()
-    }
-}
+// The panic-containment helpers moved to `gcr_par::isolate` so the ladder
+// here, the conformance fuzzer, and the `gcr-serve` request boundary all
+// share one hook installation and one payload-to-text convention. The
+// `catch_unwind` sites below treat a panic as a recoverable oracle verdict
+// (reported through the degradation ladder), so the hook's stderr message
+// would be noise; the suppression flag is thread-local, so concurrent
+// pipelines on `gcr-par` workers don't silence each other's genuine
+// panics.
+use gcr_par::isolate::{panic_msg, quiet_panics};
 
 /// Elementwise comparison with a relative tolerance (reductions inside one
 /// loop keep their order, so everything else must match almost exactly).
@@ -833,6 +807,13 @@ pub fn apply_strategy_checked_traced(
     safety: &SafetyOptions,
     tracer: &mut Tracer,
 ) -> Result<OptimizedProgram, GcrError> {
+    // `GCR_FAULT=panic_in_pass` chaos hook: a panic *here*, at the
+    // pipeline entry, is deliberately outside the per-pass `attempt`
+    // containment below — it models the pass whose unwind escapes the
+    // ladder, which only a caller-side isolation boundary (the `gcr-serve`
+    // per-request `catch_unwind`) can absorb. Inert unless the environment
+    // arms it.
+    gcr_par::fault::maybe_panic(gcr_par::fault::FaultPoint::PanicInPass);
     if strategy == Strategy::Sgi {
         gcr_ir::validate::validate(prog)
             .map_err(|errors| GcrError::Validate { stage: "input".into(), errors })?;

@@ -81,6 +81,20 @@ pub enum Strategy {
 }
 
 impl Strategy {
+    /// Parses the user-facing strategy names shared by the `gcrc` command
+    /// line and the `gcr-serve` request protocol. `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Strategy> {
+        Some(match name {
+            "original" => Strategy::Original,
+            "sgi" => Strategy::Sgi,
+            "fuse" => Strategy::FusionOnly { levels: 3 },
+            "fuse1" => Strategy::FusionOnly { levels: 1 },
+            "fuse+group" => Strategy::FusionRegroup { levels: 3, regroup: RegroupLevel::Multi },
+            "group" => Strategy::RegroupOnly,
+            _ => return None,
+        })
+    }
+
     /// Short label for report tables.
     pub fn label(&self) -> String {
         match self {

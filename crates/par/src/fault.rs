@@ -1,0 +1,304 @@
+//! Seeded fault injection — the `GCR_FAULT` environment contract.
+//!
+//! A fault-tolerant service is only as good as the faults it has actually
+//! survived, so the workspace carries its injection points in production
+//! code, compiled in permanently and gated behind one environment
+//! variable. When `GCR_FAULT` is unset (the normal case) every site costs
+//! a single relaxed atomic load of a pre-resolved `None`; when set, each
+//! named site fires deterministically from a seeded splitmix64 stream, so
+//! a chaos campaign is exactly reproducible from `(GCR_FAULT,
+//! GCR_FAULT_SEED)`.
+//!
+//! ```text
+//! GCR_FAULT=panic_in_pass=0.05,slow_sim=0.2   # per-site fire rates in [0,1]
+//! GCR_FAULT=torn_cache_write                  # bare name = rate 1.0
+//! GCR_FAULT_SEED=42                           # decision stream seed (default 0)
+//! GCR_FAULT_SLEEP_MS=250                      # slow_sim stall length (default 250)
+//! ```
+//!
+//! The injection-point catalog (see DESIGN.md §13 for where each one is
+//! planted):
+//!
+//! | name                 | site                               | models |
+//! |----------------------|------------------------------------|---------|
+//! | `panic_in_pass`      | checked-pipeline entry (`gcr-core`) | a panicking optimizer pass escaping the ladder |
+//! | `slow_sim`           | cold measurement (`gcr-bench`)      | a runaway simulation blowing its deadline |
+//! | `torn_cache_write`   | cache persistence (`gcr-bench`)     | a crash mid-write leaving a torn cache file |
+//! | `truncated_frame`    | response writer (`gcr-serve`)       | a connection dying mid-frame |
+//! | `io_error`           | cache persistence (`gcr-bench`)     | an ENOSPC-style I/O failure on flush |
+//!
+//! Decisions are made per *site visit*: each point keeps a visit counter,
+//! and visit `t` fires iff `splitmix64(seed ⊕ salt(point) ⊕ t) < rate ·
+//! 2⁶⁴`. Counters of fired injections are queryable ([`injected`]) so a
+//! harness can assert its faults actually happened.
+
+use crate::rng::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// One named injection site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// Panic at the entry of the checked optimization pipeline.
+    PanicInPass,
+    /// Stall a cold (uncached) measurement by `GCR_FAULT_SLEEP_MS`.
+    SlowSim,
+    /// Persist the measurement cache non-atomically and truncated, as a
+    /// crash in the middle of an unbuffered write would.
+    TornCacheWrite,
+    /// Truncate a protocol response frame and drop the connection.
+    TruncatedFrame,
+    /// Fail a cache flush with an ENOSPC-style I/O error.
+    IoError,
+}
+
+/// Number of catalogued injection points.
+pub const NPOINTS: usize = 5;
+
+impl FaultPoint {
+    /// Every catalogued point, in wire-name order.
+    pub const ALL: [FaultPoint; NPOINTS] = [
+        FaultPoint::PanicInPass,
+        FaultPoint::SlowSim,
+        FaultPoint::TornCacheWrite,
+        FaultPoint::TruncatedFrame,
+        FaultPoint::IoError,
+    ];
+
+    /// The `GCR_FAULT` spec name of this point.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::PanicInPass => "panic_in_pass",
+            FaultPoint::SlowSim => "slow_sim",
+            FaultPoint::TornCacheWrite => "torn_cache_write",
+            FaultPoint::TruncatedFrame => "truncated_frame",
+            FaultPoint::IoError => "io_error",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultPoint::PanicInPass => 0,
+            FaultPoint::SlowSim => 1,
+            FaultPoint::TornCacheWrite => 2,
+            FaultPoint::TruncatedFrame => 3,
+            FaultPoint::IoError => 4,
+        }
+    }
+
+    fn from_name(name: &str) -> Option<FaultPoint> {
+        FaultPoint::ALL.iter().copied().find(|p| p.name() == name)
+    }
+
+    /// Decorrelates the per-point decision streams.
+    fn salt(self) -> u64 {
+        0x5157_4f52_4b5f_0000 ^ ((self.index() as u64 + 1) << 24)
+    }
+}
+
+/// A parsed `GCR_FAULT` spec: a fire rate per injection point plus the
+/// decision-stream seed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Fire probability in `[0, 1]` per [`FaultPoint::index`].
+    rates: [f64; NPOINTS],
+}
+
+impl FaultPlan {
+    /// Parses a spec string (`point[=rate][,point[=rate]]...`). Unknown
+    /// point names and rates outside `[0, 1]` are errors — a chaos run
+    /// with a typo'd fault silently injecting nothing would "pass"
+    /// vacuously.
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let mut rates = [0.0; NPOINTS];
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (name, rate) = match part.split_once('=') {
+                Some((n, r)) => {
+                    let rate: f64 = r
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("GCR_FAULT: bad rate {r:?} for {n:?}"))?;
+                    (n.trim(), rate)
+                }
+                None => (part, 1.0),
+            };
+            let point = FaultPoint::from_name(name)
+                .ok_or_else(|| format!("GCR_FAULT: unknown injection point {name:?}"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("GCR_FAULT: rate {rate} for {name:?} outside [0, 1]"));
+            }
+            rates[point.index()] = rate;
+        }
+        Ok(FaultPlan { seed, rates })
+    }
+
+    /// Whether visit `tick` of `point` fires under this plan. Pure: the
+    /// same `(seed, point, tick)` answers identically on any machine.
+    pub fn fires_at(&self, point: FaultPoint, tick: u64) -> bool {
+        let rate = self.rates[point.index()];
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let draw = Rng::new(self.seed ^ point.salt() ^ tick.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .next_u64();
+        (draw as f64) < rate * (u64::MAX as f64)
+    }
+}
+
+struct FaultState {
+    plan: FaultPlan,
+    /// Site-visit counters (decision stream position).
+    ticks: [AtomicU64; NPOINTS],
+    /// Fired-injection counters.
+    fired: [AtomicU64; NPOINTS],
+}
+
+static STATE: OnceLock<Option<FaultState>> = OnceLock::new();
+
+fn state() -> Option<&'static FaultState> {
+    STATE
+        .get_or_init(|| {
+            let spec = std::env::var("GCR_FAULT").ok()?;
+            if spec.trim().is_empty() {
+                return None;
+            }
+            let seed = std::env::var("GCR_FAULT_SEED")
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(0);
+            match FaultPlan::parse(&spec, seed) {
+                Ok(plan) => {
+                    Some(FaultState { plan, ticks: Default::default(), fired: Default::default() })
+                }
+                Err(e) => {
+                    // Fail loudly: a misconfigured chaos campaign must not
+                    // silently run fault-free.
+                    panic!("{e}");
+                }
+            }
+        })
+        .as_ref()
+}
+
+/// True when a `GCR_FAULT` plan is active in this process.
+pub fn active() -> bool {
+    state().is_some()
+}
+
+/// Visits the injection site `point` and reports whether it fires this
+/// time. Always false (and nearly free) without a `GCR_FAULT` plan.
+pub fn fires(point: FaultPoint) -> bool {
+    let Some(st) = state() else { return false };
+    let tick = st.ticks[point.index()].fetch_add(1, Ordering::Relaxed);
+    let fire = st.plan.fires_at(point, tick);
+    if fire {
+        let n = st.fired[point.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!("gcr-fault: injected {} (#{n})", point.name());
+    }
+    fire
+}
+
+/// How many times `point` has fired in this process.
+pub fn injected(point: FaultPoint) -> u64 {
+    state().map_or(0, |st| st.fired[point.index()].load(Ordering::Relaxed))
+}
+
+/// Total injections across all points.
+pub fn injected_total() -> u64 {
+    FaultPoint::ALL.iter().map(|&p| injected(p)).sum()
+}
+
+/// Panics with a recognizable payload when `point` fires.
+pub fn maybe_panic(point: FaultPoint) {
+    if fires(point) {
+        panic!("injected fault: {}", point.name());
+    }
+}
+
+/// Sleeps for the configured stall (`GCR_FAULT_SLEEP_MS`, default 250)
+/// when `point` fires; returns whether it did.
+pub fn maybe_sleep(point: FaultPoint) -> bool {
+    if fires(point) {
+        let ms = std::env::var("GCR_FAULT_SLEEP_MS")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(250);
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+        true
+    } else {
+        false
+    }
+}
+
+/// Returns an ENOSPC-flavoured I/O error when `point` fires.
+pub fn maybe_io_error(point: FaultPoint, what: &str) -> std::io::Result<()> {
+    if fires(point) {
+        Err(std::io::Error::other(format!(
+            "injected fault: {} (no space left on device) during {what}",
+            point.name()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_rates_and_bare_names() {
+        let p = FaultPlan::parse("panic_in_pass=0.25, slow_sim", 1).unwrap();
+        assert_eq!(p.rates[FaultPoint::PanicInPass.index()], 0.25);
+        assert_eq!(p.rates[FaultPoint::SlowSim.index()], 1.0);
+        assert_eq!(p.rates[FaultPoint::IoError.index()], 0.0);
+        assert!(FaultPlan::parse("", 0).unwrap().rates.iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn parse_rejects_typos_and_bad_rates() {
+        assert!(FaultPlan::parse("panic_in_pas=0.5", 0).is_err());
+        assert!(FaultPlan::parse("slow_sim=1.5", 0).is_err());
+        assert!(FaultPlan::parse("slow_sim=x", 0).is_err());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_rate_shaped() {
+        let plan = FaultPlan::parse("slow_sim=0.3", 9).unwrap();
+        let again = FaultPlan::parse("slow_sim=0.3", 9).unwrap();
+        let n = 10_000u64;
+        let mut hits = 0;
+        for t in 0..n {
+            let a = plan.fires_at(FaultPoint::SlowSim, t);
+            assert_eq!(a, again.fires_at(FaultPoint::SlowSim, t), "tick {t}");
+            hits += a as u64;
+        }
+        let rate = hits as f64 / n as f64;
+        assert!((0.25..0.35).contains(&rate), "empirical rate {rate} far from 0.3");
+        // Other points stay silent, and extreme rates are exact.
+        assert!(!plan.fires_at(FaultPoint::IoError, 0));
+        let all = FaultPlan::parse("io_error=1.0", 9).unwrap();
+        assert!(all.fires_at(FaultPoint::IoError, 12345));
+    }
+
+    #[test]
+    fn seeds_decorrelate_streams() {
+        let a = FaultPlan::parse("slow_sim=0.5", 1).unwrap();
+        let b = FaultPlan::parse("slow_sim=0.5", 2).unwrap();
+        let diverged = (0..64)
+            .any(|t| a.fires_at(FaultPoint::SlowSim, t) != b.fires_at(FaultPoint::SlowSim, t));
+        assert!(diverged, "different seeds must give different decision streams");
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for p in FaultPoint::ALL {
+            assert_eq!(FaultPoint::from_name(p.name()), Some(p));
+        }
+        assert_eq!(FaultPoint::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Panic isolation helpers shared by every layer that treats a panic as a
+//! recoverable, reportable event: the checked optimizer ladder
+//! (`gcr-core`), the conformance fuzzer, the [`crate::Pool`] workers, and
+//! the `gcr-serve` per-request boundary.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+thread_local! {
+    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` with default panic-hook output suppressed on this thread. The
+/// caller's `catch_unwind` treats a panic as a recoverable verdict
+/// (degradation rung, isolated request, fuzz finding), so the hook's
+/// stderr message would be noise. The flag is thread-local, so concurrent
+/// callers on other worker threads don't silence each other's genuine
+/// panics.
+pub fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+    let saved = QUIET_PANICS.with(|q| q.replace(true));
+    let out = f();
+    QUIET_PANICS.with(|q| q.set(saved));
+    out
+}
+
+/// Best-effort human-readable text of a panic payload.
+pub fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked".to_string()
+    }
+}
+
+/// Runs `f` under [`catch_unwind`] with hook output suppressed; a panic
+/// comes back as `Err(message)` instead of unwinding further. This is the
+/// per-request isolation primitive: one poisoned computation is converted
+/// into a value, and the calling thread survives to serve the next one.
+pub fn run_isolated<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    quiet_panics(|| catch_unwind(AssertUnwindSafe(f))).map_err(panic_msg)
+}
+
+/// Locks `m`, recovering from poisoning. An isolated panic may have died
+/// while holding a shared lock; the standard library then marks the mutex
+/// poisoned forever, and an `unwrap()` would convert one quarantined
+/// request into a crash of every later one. All workspace structures
+/// guarded this way uphold their invariants across unwinds (single-call
+/// map inserts, counter bumps), so recovery is sound; `poisoned` counts
+/// each recovery so the event stays observable in reports.
+pub fn lock_recover<'a, T>(m: &'a Mutex<T>, poisoned: &AtomicU64) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(e) => {
+            poisoned.fetch_add(1, Ordering::Relaxed);
+            m.clear_poison();
+            e.into_inner()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_isolated_returns_value_or_message() {
+        assert_eq!(run_isolated(|| 41 + 1), Ok(42));
+        let err = run_isolated(|| -> u32 { panic!("kaboom {}", 7) }).unwrap_err();
+        assert!(err.contains("kaboom 7"), "{err}");
+        // The thread survives and can isolate again.
+        assert_eq!(run_isolated(|| "still alive"), Ok("still alive"));
+    }
+
+    #[test]
+    fn lock_recover_survives_poisoning() {
+        let m = Mutex::new(vec![1, 2, 3]);
+        let poisoned = AtomicU64::new(0);
+        // Poison the lock by panicking while holding it.
+        let _ = run_isolated(|| {
+            let _g = m.lock().unwrap();
+            panic!("die holding the lock");
+        });
+        assert!(m.is_poisoned());
+        let g = lock_recover(&m, &poisoned);
+        assert_eq!(*g, vec![1, 2, 3]);
+        drop(g);
+        assert_eq!(poisoned.load(Ordering::Relaxed), 1);
+        // Recovery is durable: the next lock is clean.
+        assert!(!m.is_poisoned());
+        drop(lock_recover(&m, &poisoned));
+        assert_eq!(poisoned.load(Ordering::Relaxed), 1);
+    }
+}

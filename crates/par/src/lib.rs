@@ -17,23 +17,60 @@
 //!   thread with its original payload once all workers have stopped.
 //!
 //! Thread count comes from the `GCR_THREADS` environment variable when set
-//! (a positive integer; `1` forces serial execution in the calling thread),
-//! otherwise from [`std::thread::available_parallelism`]. Work is
-//! distributed dynamically — an atomic next-item counter — so a sweep whose
-//! points vary wildly in cost (big apps next to small ones) still balances.
+//! (`0` or `1` force serial execution in the calling thread), otherwise
+//! from [`std::thread::available_parallelism`]. Work is distributed
+//! dynamically — an atomic next-item counter — so a sweep whose points
+//! vary wildly in cost (big apps next to small ones) still balances.
+//!
+//! Beyond the batch pool, this crate is the workspace's fault-tolerance
+//! runtime: [`isolate`] (panic containment and poisoned-lock recovery),
+//! [`fault`] (the seeded `GCR_FAULT` injection plan), [`Pool`] (the
+//! persistent bounded worker pool behind `gcr-serve`), and [`rng`] (the
+//! shared deterministic splitmix64 stream).
+
+pub mod fault;
+pub mod isolate;
+pub mod pool;
+pub mod rng;
+
+pub use pool::{Pool, PoolFull};
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+thread_local! {
+    /// True on threads that already belong to a gcr-par pool ([`Pool`]
+    /// workers and [`scope_map_with`] scoped workers). Nested fan-out from
+    /// such a thread runs serially — every pool thread spawning its own
+    /// pool would over-subscribe the host quadratically.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Marks the current thread as a pool worker for its remaining lifetime
+/// (used by [`Pool`] workers, which are long-lived).
+pub(crate) fn enter_pool_thread() {
+    IN_POOL.with(|c| c.set(true));
+}
+
+/// Whether the calling thread is already inside a gcr-par pool.
+pub fn in_pool_thread() -> bool {
+    IN_POOL.with(|c| c.get())
+}
+
 /// Number of worker threads a sweep will use: the `GCR_THREADS` override
-/// when set and positive, otherwise the host's available parallelism.
+/// when set (`0` means serial, like `1`), otherwise the host's available
+/// parallelism.
 pub fn thread_count() -> usize {
     match std::env::var("GCR_THREADS") {
         Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => {
-                eprintln!("GCR_THREADS={v:?} ignored (want a positive integer)");
+            // 0 is a common "no parallelism" spelling (and what a broken
+            // `nproc`-derived variable degrades to); honour it as serial
+            // instead of warning and guessing.
+            Ok(0) => 1,
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("GCR_THREADS={v:?} ignored (want a non-negative integer)");
                 default_threads()
             }
         },
@@ -61,6 +98,12 @@ where
 /// returned in input order. If any invocation of `f` panics, remaining
 /// items are abandoned and the panic is re-raised here with its original
 /// payload.
+///
+/// A call from a thread that is already a gcr-par worker (a nested
+/// `scope_map`, or a job inside a [`Pool`]) degrades to serial execution
+/// regardless of `threads`: the host's parallelism is already claimed by
+/// the outer pool, and N workers each spawning N more would over-subscribe
+/// it N-fold.
 pub fn scope_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -69,7 +112,7 @@ where
 {
     let n = items.len();
     let threads = threads.min(n);
-    if threads <= 1 {
+    if threads <= 1 || in_pool_thread() {
         return items.iter().map(f).collect();
     }
     let next = AtomicUsize::new(0);
@@ -78,6 +121,7 @@ where
     let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
     std::thread::scope(|s| {
         let worker = || {
+            enter_pool_thread();
             loop {
                 if poisoned.load(Ordering::Relaxed) {
                     return Ok(());
@@ -197,5 +241,31 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn nested_scope_map_degrades_to_serial() {
+        // An inner scope_map issued from a worker must not spawn another
+        // pool: all inner work stays on the worker thread that issued it.
+        let outer: Vec<u32> = (0..8).collect();
+        let results = scope_map_with(4, &outer, |&x| {
+            let worker = std::thread::current().id();
+            let inner: Vec<u32> = (0..32).collect();
+            let inner_ids = scope_map_with(16, &inner, |&y| (x + y, std::thread::current().id()));
+            let serial = inner_ids.iter().all(|&(_, id)| id == worker);
+            let sum: u32 = inner_ids.iter().map(|&(v, _)| v).sum();
+            (serial, sum)
+        });
+        for (i, &(serial, sum)) in results.iter().enumerate() {
+            assert!(serial, "outer item {i}: inner map left its worker thread");
+            assert_eq!(sum, (0..32u32).map(|y| i as u32 + y).sum::<u32>());
+        }
+        // Depth > 2 is also safe: the flag is sticky for the worker scope.
+        let deep = scope_map_with(2, &[1u32, 2], |&x| {
+            scope_map_with(2, &[10u32, 20], move |&y| {
+                scope_map_with(2, &[100u32], move |&z| x + y + z)[0]
+            })
+        });
+        assert_eq!(deep, vec![vec![111, 121], vec![112, 122]]);
     }
 }

@@ -25,8 +25,22 @@ fn gcr_threads_env_contract() {
     assert_eq!(out, vec![1, 2, 3]);
     assert_eq!(HITS.with(|h| h.get()), 3, "GCR_THREADS=1 must not spawn workers");
 
-    // Zero and garbage fall back to the default (≥ 1), not a panic.
-    for bad in ["0", "-2", "lots", ""] {
+    // `GCR_THREADS=0` means "no parallelism": serial execution in the
+    // calling thread, exactly like 1 — not a panic, not a guess.
+    std::env::set_var("GCR_THREADS", "0");
+    assert_eq!(gcr_par::thread_count(), 1);
+    HITS.with(|h| h.set(0));
+    let caller = std::thread::current().id();
+    let ids = gcr_par::scope_map(&[1u32, 2, 3, 4], |&x| {
+        HITS.with(|h| h.set(h.get() + 1));
+        (x * x, std::thread::current().id())
+    });
+    assert_eq!(ids.iter().map(|&(v, _)| v).collect::<Vec<_>>(), vec![1, 4, 9, 16]);
+    assert!(ids.iter().all(|&(_, id)| id == caller), "GCR_THREADS=0 must stay serial");
+    assert_eq!(HITS.with(|h| h.get()), 4, "GCR_THREADS=0 must not spawn workers");
+
+    // Garbage falls back to the default (≥ 1), not a panic.
+    for bad in ["-2", "lots", ""] {
         std::env::set_var("GCR_THREADS", bad);
         assert!(gcr_par::thread_count() >= 1, "GCR_THREADS={bad:?}");
     }

@@ -1,0 +1,50 @@
+//! The `gcr-serve` daemon.
+//!
+//! Speaks the `gcr-serve/v1` framed protocol on stdin/stdout by default,
+//! or on a unix socket with `--socket`. The measurement cache persists to
+//! `GCR_MEASURE_CACHE` when set; `GCR_FAULT` arms chaos injection points
+//! (see `gcr-par`'s fault module). The process exits after a `shutdown`
+//! request (or EOF on stdio), draining in-flight work and flushing the
+//! cache first.
+//!
+//! Usage: `gcr-serve [--socket PATH] [--workers N] [--queue N]
+//! [--deadline-ms N]`
+
+use gcr_bench::sweep::MeasureCache;
+use gcr_serve::{Server, ServerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    };
+    let parse = |flag: &str, default: u64| -> u64 {
+        get(flag)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("bad {flag} value {v:?}")))
+            .unwrap_or(default)
+    };
+    let socket = get("--socket");
+    let defaults = ServerConfig::default();
+    let cfg = ServerConfig {
+        workers: parse("--workers", defaults.workers as u64) as usize,
+        queue: parse("--queue", defaults.queue as u64) as usize,
+        default_deadline_ms: parse("--deadline-ms", defaults.default_deadline_ms),
+    };
+
+    let server = Server::new(cfg, MeasureCache::from_env());
+    let served = match &socket {
+        Some(path) => {
+            eprintln!("gcr-serve: listening on {path}");
+            server.serve_unix(path)
+        }
+        None => server.serve_stdio(),
+    };
+    if let Err(e) = served {
+        eprintln!("gcr-serve: transport failed: {e}");
+    }
+    // Drain the pool, then flush the store — orphaned jobs land too.
+    if let Err(e) = server.finish() {
+        eprintln!("gcr-serve: cache flush failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,357 @@
+//! Chaos campaign driver: randomized client workloads with invariants.
+//!
+//! A campaign connects to a live `gcr-serve` daemon (usually a child
+//! process with `GCR_FAULT` injections armed) and issues a seeded random
+//! mix of `health`, `report`, `optimize` and `measure` requests while
+//! checking the service contract from the *outside*:
+//!
+//! * **Liveness** — every request gets an answer (or a clean connection
+//!   drop) within its deadline plus a scheduling slack; a request that
+//!   hangs past that is a wedge and fails the campaign.
+//! * **Availability** — if the connection dies (e.g. an injected
+//!   truncated frame), reconnecting must succeed; a server that cannot
+//!   be reached again has died, which no injected fault may cause.
+//! * **Determinism** — an `ok` answer to a given `optimize`/`measure`
+//!   request must be byte-identical every time it is asked, within a
+//!   campaign and across campaigns sharing an [`Expectations`] map. This
+//!   is how cache self-healing is verified: a campaign against a
+//!   corrupted store must reproduce the exact bytes of the campaign that
+//!   filled it.
+//! * **Strictness** (fault-free runs) — with no faults armed, *no*
+//!   request may fail at all.
+//!
+//! The workload is fully determined by the seed, so any failure is
+//! reproducible from the campaign config alone.
+
+use crate::proto::{read_frame, write_frame, ErrCode, FrameIn, ProtoError, Request, Response};
+use gcr_par::rng::Rng;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+/// Grace on top of the request deadline before a missing answer counts
+/// as a wedged request (covers scheduling and transport latency).
+pub const DEADLINE_SLACK_MS: u64 = 2_000;
+
+/// One campaign's parameters.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Unix-socket path of the server under test.
+    pub socket: String,
+    /// Workload seed; same seed, same request sequence.
+    pub seed: u64,
+    /// Requests to issue (the budget may stop the campaign earlier).
+    pub requests: u64,
+    /// Wall-clock budget for the whole campaign.
+    pub budget: Duration,
+    /// `deadline_ms` header sent with every work request.
+    pub deadline_ms: u64,
+    /// Fault-free mode: any error response is a violation.
+    pub strict: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            socket: String::new(),
+            seed: 0,
+            requests: 100,
+            budget: Duration::from_secs(60),
+            deadline_ms: 10_000,
+            strict: false,
+        }
+    }
+}
+
+/// Byte-exact `ok` bodies per encoded request, shared across campaigns
+/// to assert cross-run determinism (e.g. before and after a cache
+/// corruption + self-heal cycle).
+pub type Expectations = HashMap<String, String>;
+
+/// What a campaign observed.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosOutcome {
+    /// Requests issued.
+    pub issued: u64,
+    /// `ok` responses.
+    pub ok: u64,
+    /// Error responses by code name.
+    pub errors: BTreeMap<&'static str, u64>,
+    /// Times the connection died and was successfully re-established.
+    pub reconnects: u64,
+    /// `ok` answers checked against (or added to) the expectations map.
+    pub determinism_checked: u64,
+    /// Contract violations; empty means the campaign passed.
+    pub violations: Vec<String>,
+}
+
+impl ChaosOutcome {
+    /// Whether the campaign held every invariant.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A framed protocol client over a unix socket.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects once.
+    pub fn connect(socket: &str) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(socket)?;
+        Ok(Client { stream })
+    }
+
+    /// Connects, retrying until `timeout` — for a server still binding
+    /// its socket, or one momentarily busy tearing down a connection.
+    pub fn connect_with_retry(socket: &str, timeout: Duration) -> std::io::Result<Client> {
+        let start = Instant::now();
+        loop {
+            match Client::connect(socket) {
+                Ok(c) => return Ok(c),
+                Err(e) if start.elapsed() >= timeout => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    /// Caps how long a single `call` may block on the response.
+    pub fn set_deadline(&mut self, d: Duration) -> std::io::Result<()> {
+        self.stream.set_read_timeout(Some(d))
+    }
+
+    /// Sends one request and waits for its response frame.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ProtoError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        match read_frame(&mut self.stream)? {
+            FrameIn::Frame(payload) => Response::parse(&payload),
+            FrameIn::Eof => Err(ProtoError::Io(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "connection closed before the response",
+            ))),
+            FrameIn::Idle => Err(ProtoError::Io(std::io::Error::new(
+                ErrorKind::TimedOut,
+                "no response within the read deadline",
+            ))),
+        }
+    }
+}
+
+/// The two canned optimize inputs the workload rotates through.
+pub const CHAOS_PROGRAMS: [&str; 2] = [
+    "
+program chain
+param N
+array A[N], B[N], C[N]
+for i = 1, N {
+  A[i] = f(A[i])
+}
+for i = 1, N {
+  B[i] = g(A[i], B[i])
+}
+for i = 1, N {
+  C[i] = g(B[i], C[i])
+}
+",
+    "
+program pair2d
+param N
+array U[N,N], V[N,N]
+for j = 1, N {
+  for i = 1, N {
+    U[i,j] = f(U[i,j])
+  }
+}
+for j = 1, N {
+  for i = 1, N {
+    V[i,j] = g(U[i,j], V[i,j])
+  }
+}
+",
+];
+
+const STRATEGIES: [&str; 6] = ["original", "sgi", "fuse", "fuse1", "fuse+group", "group"];
+const APPS: [&str; 2] = ["ADI", "SP"];
+
+/// The `i`-th request of the campaign's seeded workload. Public so a
+/// failure report can name and regenerate the exact offending request.
+pub fn workload_request(cfg: &ChaosConfig, i: u64) -> Request {
+    let mut rng = Rng::for_iteration(cfg.seed, i);
+    match rng.below(10) {
+        0 => Request::new("health"),
+        1 => Request::new("report"),
+        2..=5 => Request::new("optimize")
+            .with("strategy", STRATEGIES[rng.below(STRATEGIES.len() as u64) as usize])
+            .with("deadline_ms", cfg.deadline_ms)
+            .with_body(CHAOS_PROGRAMS[rng.below(CHAOS_PROGRAMS.len() as u64) as usize]),
+        _ => Request::new("measure")
+            .with("app", APPS[rng.below(APPS.len() as u64) as usize])
+            .with("strategy", STRATEGIES[rng.below(STRATEGIES.len() as u64) as usize])
+            .with("size", rng.range(8, 12))
+            .with("steps", rng.range(1, 2))
+            .with("deadline_ms", cfg.deadline_ms),
+    }
+}
+
+fn is_deterministic_verb(verb: &str) -> bool {
+    verb == "optimize" || verb == "measure"
+}
+
+/// Runs one campaign against a live server, recording observations and
+/// violations. `expected` carries byte-exact answers across campaigns.
+pub fn run_campaign(cfg: &ChaosConfig, expected: &mut Expectations) -> ChaosOutcome {
+    let mut out = ChaosOutcome::default();
+    let started = Instant::now();
+    let call_cap = Duration::from_millis(cfg.deadline_ms + DEADLINE_SLACK_MS);
+    let mut client = match Client::connect_with_retry(&cfg.socket, Duration::from_secs(10)) {
+        Ok(c) => c,
+        Err(e) => {
+            out.violations.push(format!("could not reach server at {}: {e}", cfg.socket));
+            return out;
+        }
+    };
+    let _ = client.set_deadline(call_cap);
+
+    for i in 0..cfg.requests {
+        if started.elapsed() > cfg.budget {
+            break;
+        }
+        let req = workload_request(cfg, i);
+        out.issued += 1;
+        let req_started = Instant::now();
+        let result = client.call(&req);
+        let elapsed = req_started.elapsed();
+        // Liveness: an answer (or a broken connection) must arrive within
+        // deadline + slack. `call` itself is capped by the read timeout,
+        // so a wedged server surfaces here rather than hanging the
+        // campaign.
+        if elapsed > call_cap + Duration::from_millis(500) {
+            out.violations.push(format!(
+                "request #{i} ({}) unanswered for {} ms (cap {} ms)",
+                req.verb,
+                elapsed.as_millis(),
+                call_cap.as_millis()
+            ));
+        }
+        match result {
+            Ok(resp) => match resp.code {
+                None => {
+                    out.ok += 1;
+                    if is_deterministic_verb(&req.verb) {
+                        out.determinism_checked += 1;
+                        let key = String::from_utf8(req.encode()).expect("requests are UTF-8");
+                        match expected.get(&key) {
+                            None => {
+                                expected.insert(key, resp.body);
+                            }
+                            Some(prev) if *prev == resp.body => {}
+                            Some(prev) => out.violations.push(format!(
+                                "request #{i} ({}) nondeterministic:\n--- first ---\n{prev}\n--- now ---\n{}",
+                                req.verb, resp.body
+                            )),
+                        }
+                    }
+                }
+                Some(code) => {
+                    *out.errors.entry(code.name()).or_insert(0) += 1;
+                    if cfg.strict && code != ErrCode::Overloaded {
+                        out.violations.push(format!(
+                            "request #{i} ({}) failed `{}` in a fault-free campaign: {}",
+                            req.verb,
+                            code.name(),
+                            resp.body.trim()
+                        ));
+                    }
+                }
+            },
+            Err(e) => {
+                // The connection died (torn frame, dropped peer, read
+                // timeout). Availability demands a reconnect succeeds.
+                match Client::connect_with_retry(&cfg.socket, Duration::from_secs(10)) {
+                    Ok(c) => {
+                        client = c;
+                        let _ = client.set_deadline(call_cap);
+                        out.reconnects += 1;
+                        if cfg.strict {
+                            out.violations.push(format!(
+                                "request #{i} ({}) dropped the connection in a fault-free campaign: {e}",
+                                req.verb
+                            ));
+                        }
+                    }
+                    Err(err) => {
+                        out.violations.push(format!(
+                            "server unreachable after request #{i} ({e}); reconnect failed: {err} \
+                             — process death?"
+                        ));
+                        return out;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Fetches the server's own counters (`report` verb) as raw JSON text.
+pub fn fetch_report(socket: &str) -> Option<String> {
+    let mut client = Client::connect_with_retry(socket, Duration::from_secs(5)).ok()?;
+    let _ = client.set_deadline(Duration::from_secs(5));
+    match client.call(&Request::new("report")) {
+        Ok(resp) if resp.is_ok() => Some(resp.body),
+        _ => None,
+    }
+}
+
+/// Asks the server to drain and exit. Best-effort: the socket may
+/// already be gone.
+pub fn send_shutdown(socket: &str) -> bool {
+    let Ok(mut client) = Client::connect_with_retry(socket, Duration::from_secs(5)) else {
+        return false;
+    };
+    let _ = client.set_deadline(Duration::from_secs(10));
+    matches!(client.call(&Request::new("shutdown")), Ok(resp) if resp.is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_seed_deterministic_and_mixed() {
+        let cfg = ChaosConfig { seed: 42, ..ChaosConfig::default() };
+        let mut verbs: BTreeMap<String, u64> = BTreeMap::new();
+        for i in 0..200 {
+            let a = workload_request(&cfg, i);
+            let b = workload_request(&cfg, i);
+            assert_eq!(a, b, "workload must be a pure function of (seed, i)");
+            *verbs.entry(a.verb).or_insert(0) += 1;
+        }
+        for verb in ["health", "report", "optimize", "measure"] {
+            assert!(verbs.get(verb).copied().unwrap_or(0) > 0, "no {verb} in 200 requests");
+        }
+        let other = ChaosConfig { seed: 43, ..ChaosConfig::default() };
+        let diverged = (0..50).any(|i| workload_request(&cfg, i) != workload_request(&other, i));
+        assert!(diverged, "different seeds must give different workloads");
+    }
+
+    #[test]
+    fn workload_requests_stay_inside_service_bounds() {
+        let cfg = ChaosConfig { seed: 7, ..ChaosConfig::default() };
+        for i in 0..500 {
+            let req = workload_request(&cfg, i);
+            if let Some(size) = req.header("size") {
+                let size: i64 = size.parse().unwrap();
+                assert!((8..=crate::server::MAX_SIZE).contains(&size));
+            }
+            if let Some(steps) = req.header("steps") {
+                let steps: usize = steps.parse().unwrap();
+                assert!((1..=crate::server::MAX_STEPS).contains(&steps));
+            }
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! The `gcr-serve/v1` wire protocol.
+//!
+//! Every message — request or response — is one *frame*: a little-endian
+//! `u32` byte length followed by that many bytes of UTF-8 payload. Length
+//! prefixing keeps framing trivial to parse incrementally and makes a
+//! torn connection detectable: a reader that hits EOF mid-frame reports
+//! [`ProtoError::Truncated`] instead of misparsing the tail of one
+//! message as the head of the next.
+//!
+//! Request payload:
+//!
+//! ```text
+//! gcr-serve/v1 <verb>\n
+//! <key>=<value>\n        (zero or more headers)
+//! \n
+//! <body bytes>           (verb-specific, may be empty)
+//! ```
+//!
+//! Response payload:
+//!
+//! ```text
+//! gcr-serve/v1 ok\n\n<JSON body>
+//! gcr-serve/v1 err <code>\n\n<JSON body>
+//! ```
+//!
+//! Error codes are a closed set ([`ErrCode`]); the JSON body of an error
+//! always carries `error` (the code again) and `message`, plus
+//! code-specific diagnostic fields (a timeout reports its deadline and
+//! elapsed time). The version token is checked on both sides: a server
+//! answering a `gcr-serve/v2` client says `err unsupported-version`
+//! rather than guessing.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Protocol identifier, the first token of every payload.
+pub const PROTO: &str = "gcr-serve/v1";
+
+/// Hard bound on a frame payload. Larger length prefixes are rejected
+/// before allocation — a corrupt or hostile prefix must not OOM the
+/// daemon.
+pub const MAX_FRAME: usize = 4 << 20;
+
+/// What went wrong reading or parsing a frame.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying transport failed.
+    Io(std::io::Error),
+    /// The connection ended in the middle of a frame.
+    Truncated {
+        /// Bytes actually read.
+        got: usize,
+        /// Bytes the prefix promised.
+        want: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME`].
+    TooLarge(usize),
+    /// The peer speaks a different protocol version.
+    WrongVersion(String),
+    /// The payload does not follow the grammar above.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o: {e}"),
+            ProtoError::Truncated { got, want } => {
+                write!(f, "truncated frame: got {got} of {want} bytes")
+            }
+            ProtoError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            ProtoError::WrongVersion(v) => write!(f, "unsupported protocol version {v:?}"),
+            ProtoError::Malformed(why) => write!(f, "malformed payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> ProtoError {
+        ProtoError::Io(e)
+    }
+}
+
+/// One read attempt on a framed connection.
+#[derive(Debug)]
+pub enum FrameIn {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed the connection cleanly (EOF between frames).
+    Eof,
+    /// A read timeout expired with no frame started — the connection is
+    /// idle. Only possible on transports with a read timeout set.
+    Idle,
+}
+
+/// Reads one length-prefixed frame. EOF *between* frames is [`FrameIn::Eof`];
+/// EOF or persistent timeout *inside* a frame is [`ProtoError::Truncated`].
+/// A read timeout before the first byte of the prefix is [`FrameIn::Idle`],
+/// so a server can poll its shutdown flag on an idle connection.
+pub fn read_frame(r: &mut impl Read) -> Result<FrameIn, ProtoError> {
+    let mut prefix = [0u8; 4];
+    match read_full(r, &mut prefix)? {
+        ReadFull::Done => {}
+        ReadFull::Empty => return Ok(FrameIn::Eof),
+        ReadFull::Idle => return Ok(FrameIn::Idle),
+        ReadFull::Short(got) => return Err(ProtoError::Truncated { got, want: 4 }),
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(ProtoError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    match read_full(r, &mut payload)? {
+        ReadFull::Done => Ok(FrameIn::Frame(payload)),
+        ReadFull::Empty => Err(ProtoError::Truncated { got: 0, want: len }),
+        // A timeout after the prefix means the peer stalled before its
+        // payload: the frame will never complete usefully, treat it as torn.
+        ReadFull::Idle => Err(ProtoError::Truncated { got: 0, want: len }),
+        ReadFull::Short(got) => Err(ProtoError::Truncated { got, want: len }),
+    }
+}
+
+enum ReadFull {
+    Done,
+    /// EOF before the first byte.
+    Empty,
+    /// Timeout before the first byte.
+    Idle,
+    /// EOF after `n` bytes.
+    Short(usize),
+}
+
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<ReadFull> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 { ReadFull::Empty } else { ReadFull::Short(filled) })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if filled == 0 {
+                    return Ok(ReadFull::Idle);
+                }
+                // Mid-message stall: keep waiting for the rest; the peer
+                // committed to a frame by sending its first bytes.
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadFull::Done)
+}
+
+/// Writes one frame: length prefix then payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = payload.len();
+    assert!(len <= MAX_FRAME, "frame of {len} bytes exceeds MAX_FRAME");
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// A parsed request frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// The operation: `optimize`, `measure`, `report`, `health`, `shutdown`.
+    pub verb: String,
+    /// `key=value` headers in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Verb-specific body (program source for `optimize`).
+    pub body: String,
+}
+
+impl Request {
+    /// A request with no headers and no body.
+    pub fn new(verb: &str) -> Request {
+        Request { verb: verb.into(), headers: Vec::new(), body: String::new() }
+    }
+
+    /// Adds a header (builder-style).
+    pub fn with(mut self, key: &str, value: impl ToString) -> Request {
+        self.headers.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Sets the body (builder-style).
+    pub fn with_body(mut self, body: impl Into<String>) -> Request {
+        self.body = body.into();
+        self
+    }
+
+    /// First value of header `key`, if present.
+    pub fn header(&self, key: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Serializes to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = format!("{PROTO} {}\n", self.verb);
+        for (k, v) in &self.headers {
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+            out.push('\n');
+        }
+        out.push('\n');
+        out.push_str(&self.body);
+        out.into_bytes()
+    }
+
+    /// Parses a frame payload. Distinguishes [`ProtoError::WrongVersion`]
+    /// from garbage so the server can answer with the right error code.
+    pub fn parse(payload: &[u8]) -> Result<Request, ProtoError> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| ProtoError::Malformed("payload is not UTF-8".into()))?;
+        let (head, body) = match text.split_once("\n\n") {
+            Some((h, b)) => (h, b),
+            None => (text.trim_end_matches('\n'), ""),
+        };
+        let mut lines = head.lines();
+        let first = lines.next().unwrap_or("");
+        let (version, verb) = first
+            .split_once(' ')
+            .ok_or_else(|| ProtoError::Malformed(format!("bad request line {first:?}")))?;
+        if version != PROTO {
+            return Err(ProtoError::WrongVersion(version.into()));
+        }
+        if verb.is_empty() || !verb.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+            return Err(ProtoError::Malformed(format!("bad verb {verb:?}")));
+        }
+        let mut headers = Vec::new();
+        for line in lines {
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| ProtoError::Malformed(format!("bad header line {line:?}")))?;
+            headers.push((k.trim().to_string(), v.trim().to_string()));
+        }
+        Ok(Request { verb: verb.into(), headers, body: body.into() })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// The closed set of error codes a response can carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The request frame parsed but asked for something nonsensical.
+    BadRequest,
+    /// The request used a protocol version this server does not speak.
+    UnsupportedVersion,
+    /// The request's handler panicked; the panic was isolated.
+    Panic,
+    /// The request exceeded its deadline or fuel budget.
+    Timeout,
+    /// The admission queue was full; the request was shed unstarted.
+    Overloaded,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// The pipeline or simulator rejected the request for its content.
+    Internal,
+}
+
+impl ErrCode {
+    /// All codes, for exhaustive accounting.
+    pub const ALL: [ErrCode; 7] = [
+        ErrCode::BadRequest,
+        ErrCode::UnsupportedVersion,
+        ErrCode::Panic,
+        ErrCode::Timeout,
+        ErrCode::Overloaded,
+        ErrCode::ShuttingDown,
+        ErrCode::Internal,
+    ];
+
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrCode::BadRequest => "bad-request",
+            ErrCode::UnsupportedVersion => "unsupported-version",
+            ErrCode::Panic => "panic",
+            ErrCode::Timeout => "timeout",
+            ErrCode::Overloaded => "overloaded",
+            ErrCode::ShuttingDown => "shutting-down",
+            ErrCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<ErrCode> {
+        ErrCode::ALL.iter().copied().find(|c| c.name() == name)
+    }
+}
+
+/// A parsed response frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// `None` for `ok`, the code for `err`.
+    pub code: Option<ErrCode>,
+    /// JSON body text.
+    pub body: String,
+}
+
+impl Response {
+    /// Whether this is an `ok` response.
+    pub fn is_ok(&self) -> bool {
+        self.code.is_none()
+    }
+
+    /// Serializes to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = match self.code {
+            None => format!("{PROTO} ok\n\n"),
+            Some(code) => format!("{PROTO} err {}\n\n", code.name()),
+        };
+        out.push_str(&self.body);
+        out.into_bytes()
+    }
+
+    /// Parses a frame payload (client side).
+    pub fn parse(payload: &[u8]) -> Result<Response, ProtoError> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| ProtoError::Malformed("payload is not UTF-8".into()))?;
+        let (head, body) = text
+            .split_once("\n\n")
+            .ok_or_else(|| ProtoError::Malformed("response has no header/body split".into()))?;
+        let mut tokens = head.split(' ');
+        let version = tokens.next().unwrap_or("");
+        if version != PROTO {
+            return Err(ProtoError::WrongVersion(version.into()));
+        }
+        match (tokens.next(), tokens.next()) {
+            (Some("ok"), None) => Ok(Response { code: None, body: body.into() }),
+            (Some("err"), Some(code)) => {
+                let code = ErrCode::from_name(code)
+                    .ok_or_else(|| ProtoError::Malformed(format!("unknown error code {code:?}")))?;
+                Ok(Response { code: Some(code), body: body.into() })
+            }
+            _ => Err(ProtoError::Malformed(format!("bad response line {head:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r).unwrap(), FrameIn::Frame(p) if p == b"hello"));
+        assert!(matches!(read_frame(&mut r).unwrap(), FrameIn::Frame(p) if p.is_empty()));
+        assert!(matches!(read_frame(&mut r).unwrap(), FrameIn::Eof));
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello world").unwrap();
+        // Cut inside the payload.
+        let mut r = &buf[..buf.len() - 4];
+        assert!(matches!(read_frame(&mut r), Err(ProtoError::Truncated { .. })));
+        // Cut inside the prefix.
+        let mut r = &buf[..2];
+        assert!(matches!(read_frame(&mut r), Err(ProtoError::Truncated { got: 2, want: 4 })));
+        // A hostile prefix must be rejected before allocation.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        let mut r = &huge[..];
+        assert!(matches!(read_frame(&mut r), Err(ProtoError::TooLarge(_))));
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let req = Request::new("measure")
+            .with("app", "ADI")
+            .with("strategy", "fuse+group")
+            .with("size", 12)
+            .with_body("not used");
+        let back = Request::parse(&req.encode()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.header("app"), Some("ADI"));
+        assert_eq!(back.header("missing"), None);
+    }
+
+    #[test]
+    fn request_parse_rejects_bad_payloads() {
+        assert!(matches!(
+            Request::parse(b"gcr-serve/v2 health\n\n"),
+            Err(ProtoError::WrongVersion(v)) if v == "gcr-serve/v2"
+        ));
+        assert!(matches!(Request::parse(b"nonsense"), Err(ProtoError::Malformed(_))));
+        assert!(matches!(
+            Request::parse(b"gcr-serve/v1 bad verb\n\n"),
+            Err(ProtoError::Malformed(_))
+        ));
+        assert!(matches!(
+            Request::parse(b"gcr-serve/v1 health\nnot-a-header\n\n"),
+            Err(ProtoError::Malformed(_))
+        ));
+        assert!(matches!(Request::parse(&[0xff, 0xfe]), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ok = Response { code: None, body: "{\"x\": 1}\n".into() };
+        assert_eq!(Response::parse(&ok.encode()).unwrap(), ok);
+        for code in ErrCode::ALL {
+            let err =
+                Response { code: Some(code), body: format!("{{\"error\": \"{}\"}}", code.name()) };
+            let back = Response::parse(&err.encode()).unwrap();
+            assert_eq!(back, err);
+            assert!(!back.is_ok());
+            assert_eq!(ErrCode::from_name(code.name()), Some(code));
+        }
+        assert!(Response::parse(b"gcr-serve/v1 err made-up\n\n{}").is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! End-to-end tests of the real `gcr-serve` binary (spawned as a child
+//! process) and a small `gcr-chaos` campaign — the same harness the CI
+//! chaos-smoke job runs with a bigger budget.
+
+use gcr_serve::proto::{read_frame, write_frame, ErrCode, FrameIn, Request, Response};
+use std::io::Write;
+use std::process::{Command, ExitStatus, Stdio};
+
+/// Runs the daemon on stdio: feeds it `frames`, closes stdin, returns
+/// every response frame and the exit status.
+fn run_stdio(envs: &[(&str, &str)], requests: &[Request]) -> (Vec<Response>, ExitStatus) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_gcr-serve"));
+    cmd.env_remove("GCR_FAULT")
+        .env_remove("GCR_FAULT_SEED")
+        .env_remove("GCR_MEASURE_CACHE")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().expect("spawn gcr-serve");
+    let mut stdin = child.stdin.take().expect("stdin");
+    for req in requests {
+        write_frame(&mut stdin, &req.encode()).expect("write request");
+    }
+    stdin.flush().unwrap();
+    drop(stdin); // EOF ends the connection if no shutdown was sent.
+    let out = child.wait_with_output().expect("server output");
+    let mut responses = Vec::new();
+    let mut r = &out.stdout[..];
+    loop {
+        match read_frame(&mut r) {
+            Ok(FrameIn::Frame(payload)) => {
+                responses.push(Response::parse(&payload).expect("parse response"))
+            }
+            Ok(FrameIn::Eof) => break,
+            other => panic!("unexpected read result: {other:?}"),
+        }
+    }
+    (responses, out.status)
+}
+
+const DEMO: &str = "
+program demo
+param N
+array A[N], B[N]
+for i = 1, N {
+  A[i] = f(A[i])
+}
+for i = 1, N {
+  B[i] = g(A[i], B[i])
+}
+";
+
+#[test]
+fn stdio_daemon_serves_and_shuts_down_cleanly() {
+    let (responses, status) = run_stdio(
+        &[],
+        &[
+            Request::new("health"),
+            Request::new("optimize").with("strategy", "fuse").with_body(DEMO),
+            Request::new("measure").with("app", "ADI").with("size", 10),
+            Request::new("nonsense"),
+            Request::new("shutdown"),
+        ],
+    );
+    assert!(status.success(), "clean exit, got {status}");
+    assert_eq!(responses.len(), 5, "{responses:?}");
+    assert!(responses[0].is_ok(), "health: {}", responses[0].body);
+    assert!(responses[1].is_ok(), "optimize: {}", responses[1].body);
+    assert!(responses[1].body.contains("program demo"), "{}", responses[1].body);
+    assert!(responses[2].is_ok(), "measure: {}", responses[2].body);
+    assert!(responses[2].body.contains("\"l1\""), "{}", responses[2].body);
+    assert_eq!(responses[3].code, Some(ErrCode::BadRequest));
+    assert!(responses[4].is_ok(), "shutdown: {}", responses[4].body);
+}
+
+#[test]
+fn wrong_protocol_version_is_rejected_not_fatal() {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_gcr-serve"));
+    let mut child = cmd
+        .env_remove("GCR_FAULT")
+        .env_remove("GCR_MEASURE_CACHE")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn");
+    let mut stdin = child.stdin.take().unwrap();
+    write_frame(&mut stdin, b"gcr-serve/v2 health\n\n").unwrap();
+    write_frame(&mut stdin, &Request::new("health").encode()).unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let mut r = &out.stdout[..];
+    let first = match read_frame(&mut r).unwrap() {
+        FrameIn::Frame(p) => Response::parse(&p).unwrap(),
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(first.code, Some(ErrCode::UnsupportedVersion), "{}", first.body);
+    let second = match read_frame(&mut r).unwrap() {
+        FrameIn::Frame(p) => Response::parse(&p).unwrap(),
+        other => panic!("{other:?}"),
+    };
+    assert!(second.is_ok(), "the daemon must keep serving after a version mismatch");
+}
+
+#[test]
+fn injected_pass_panic_fails_the_request_not_the_daemon() {
+    let (responses, status) = run_stdio(
+        &[("GCR_FAULT", "panic_in_pass")],
+        &[
+            Request::new("optimize").with("strategy", "fuse").with_body(DEMO),
+            Request::new("health"),
+            Request::new("report"),
+            Request::new("shutdown"),
+        ],
+    );
+    assert!(status.success(), "daemon must survive an injected panic, got {status}");
+    assert_eq!(responses[0].code, Some(ErrCode::Panic), "{}", responses[0].body);
+    assert!(responses[1].is_ok(), "still healthy after a panic: {}", responses[1].body);
+    // The error counter is synchronous; the worker-side `isolated_panics`
+    // counter races the unwind, so assert on the former.
+    assert!(
+        responses[2].body.contains("\"panic\": 1"),
+        "the isolated panic must be visible in the report: {}",
+        responses[2].body
+    );
+}
+
+#[test]
+fn injected_slow_simulation_turns_into_structured_timeout() {
+    let (responses, status) = run_stdio(
+        &[("GCR_FAULT", "slow_sim"), ("GCR_FAULT_SLEEP_MS", "3000")],
+        &[
+            Request::new("measure").with("app", "ADI").with("size", 10).with("deadline_ms", 150),
+            Request::new("health"),
+            Request::new("shutdown"),
+        ],
+    );
+    assert!(status.success(), "daemon must drain the orphaned job and exit, got {status}");
+    assert_eq!(responses[0].code, Some(ErrCode::Timeout), "{}", responses[0].body);
+    assert!(responses[0].body.contains("\"deadline_ms\": 150"), "{}", responses[0].body);
+    assert!(responses[1].is_ok(), "{}", responses[1].body);
+}
+
+#[test]
+fn chaos_campaign_with_all_faults_passes() {
+    let status = Command::new(env!("CARGO_BIN_EXE_gcr-chaos"))
+        .args([
+            "--seed",
+            "1",
+            "--requests",
+            "40",
+            "--budget-ms",
+            "120000",
+            "--deadline-ms",
+            "10000",
+            "--serve-bin",
+            env!("CARGO_BIN_EXE_gcr-serve"),
+        ])
+        .env_remove("GCR_FAULT")
+        .env_remove("GCR_MEASURE_CACHE")
+        .stdout(Stdio::null())
+        .status()
+        .expect("run gcr-chaos");
+    assert!(status.success(), "chaos campaign found violations (see chaos_repro.txt)");
+}
