@@ -135,6 +135,7 @@ fn plot(job: &PlotJob) -> (String, Report) {
             },
         }),
         simulation: None,
+        prediction: None,
     };
     (text, report)
 }

@@ -59,6 +59,9 @@ pub struct Options {
     pub dot: bool,
     /// Simulate execution at this size parameter.
     pub simulate: Option<i64>,
+    /// Statically predict the capacity sweep at this size parameter
+    /// (symbolic reuse model, no trace simulation at the target size).
+    pub static_n: Option<i64>,
     /// Time steps for simulation.
     pub steps: usize,
     /// Measure the reuse-distance histogram at this size.
@@ -94,6 +97,7 @@ impl Default for Options {
             check: false,
             dot: false,
             simulate: None,
+            static_n: None,
             steps: 1,
             reuse_hist: None,
             mrc: None,
@@ -125,6 +129,11 @@ options:
   --check            statically check array bounds (input and output)
   --dot              emit the input's data-sharing graph (Graphviz DOT)
   --simulate <N>     execute at size N through the simulated memory hierarchy
+  --static <N>       predict the capacity sweep at size N analytically:
+                     fit per-capacity miss polynomials in N from a few small
+                     probe runs, then evaluate them at N (32-byte lines,
+                     capacities 256B/1KB/4KB/16KB); N can be far beyond
+                     what --simulate could ever execute
   --steps <K>        time steps for --simulate (default 1)
   --cache-scale <a,b>  shrink L1/TLB by a and L2 by b during --simulate
   --reuse-hist <N>   print the reuse-distance histogram at size N
@@ -173,6 +182,13 @@ pub fn parse_args(args: &[String]) -> Result<Options, GcrError> {
                     value(&mut it, "--simulate")?
                         .parse()
                         .map_err(|e| usage_err(format!("bad --simulate value: {e}")))?,
+                )
+            }
+            "--static" => {
+                o.static_n = Some(
+                    value(&mut it, "--static")?
+                        .parse()
+                        .map_err(|e| usage_err(format!("bad --static value: {e}")))?,
                 )
             }
             "--steps" => {
@@ -409,6 +425,32 @@ pub fn run_source_with_diagnostics(
             r.profile = Some(section);
         }
     }
+    if let Some(n) = o.static_n {
+        let spec = gcr_static::SweepSpec {
+            line: 32,
+            capacities: vec![256, 1024, 4096, 16384],
+            steps: o.steps,
+        };
+        let analyzer = gcr_static::Analyzer::analyze_with(
+            &opt.program,
+            spec,
+            engine,
+            o.fuel.unwrap_or(gcr_static::DEFAULT_PROBE_FUEL),
+            |b| opt.layout(b),
+        );
+        match analyzer.and_then(|a| a.predict(n).map(|p| prediction_section(&a, &opt.program, p))) {
+            Ok(section) => {
+                let _ = write!(out, "{}", section.to_text());
+                if let Some(r) = rep.as_mut() {
+                    r.prediction = Some(section);
+                }
+            }
+            Err(gcr_static::StaticError::NotAnalyzable { reason }) => {
+                let _ = writeln!(out, "static prediction unavailable: {reason}");
+            }
+            Err(gcr_static::StaticError::Gcr(e)) => return Err(e),
+        }
+    }
     if let Some(n) = o.reuse_hist {
         let bind = binding_for(&prog, n);
         let layout = opt.layout(&bind);
@@ -451,6 +493,46 @@ pub fn run_source_with_diagnostics(
 
 fn binding_for(prog: &gcr_ir::Program, n: i64) -> ParamBinding {
     ParamBinding::new(vec![n; prog.params.len()])
+}
+
+/// Converts a `gcr-static` prediction (plus its model's closed forms) into
+/// the report section.
+fn prediction_section(
+    a: &gcr_static::Analyzer<'_>,
+    prog: &gcr_ir::Program,
+    p: gcr_static::Prediction,
+) -> report::PredictionSection {
+    let m = a.model();
+    let var = prog.params.first().map_or("N", |d| d.name.as_str());
+    report::PredictionSection {
+        size: p.size,
+        steps: p.steps,
+        line: m.spec.line,
+        method: p.method.name().into(),
+        class: p.class.name().into(),
+        tolerance: p.tolerance,
+        degree: m.degree,
+        period: m.period,
+        regime_base: m.base,
+        probe_sims: m.probe_sims,
+        refs: p.refs,
+        capacities: p
+            .capacities
+            .iter()
+            .enumerate()
+            .map(|(ci, cp)| report::PredictionEntry {
+                capacity: cp.capacity,
+                misses: cp.misses,
+                model: m.capacities[ci].global.render_at(var, p.size),
+                per_array: cp
+                    .per_array
+                    .iter()
+                    .enumerate()
+                    .map(|(ai, &mi)| (prog.arrays[ai].name.clone(), mi))
+                    .collect(),
+            })
+            .collect(),
+    }
 }
 
 /// Feeds one interpreter pass to two sinks — how `--simulate --profile`
@@ -570,6 +652,36 @@ for i = 1, N {
         let out = run_source(SRC, &o).unwrap();
         assert!(out.contains("simulate N=128"), "{out}");
         assert!(out.contains("L1 miss"), "{out}");
+    }
+
+    #[test]
+    fn parses_static_flag() {
+        let o = parse_args(&args(&["x.loop", "--static", "1000000000"])).unwrap();
+        assert_eq!(o.static_n, Some(1_000_000_000));
+        assert!(parse_args(&args(&["x.loop", "--static"])).is_err(), "--static needs a value");
+        assert!(parse_args(&args(&["x.loop", "--static", "many"])).is_err());
+    }
+
+    #[test]
+    fn static_prediction_output() {
+        let mut o = parse_args(&args(&["-", "--no-emit", "--static", "1000000000"])).unwrap();
+        o.input = "mem".into();
+        let out = run_source(SRC, &o).unwrap();
+        assert!(out.contains("prediction at N=1000000000"), "{out}");
+        assert!(out.contains("capacity"), "{out}");
+        assert!(out.contains("misses(N) ="), "{out}");
+    }
+
+    #[test]
+    fn static_prediction_in_report_schema() {
+        let mut o =
+            parse_args(&args(&["-", "--no-emit", "--static", "100000", "--report", "-"])).unwrap();
+        o.input = "mem".into();
+        let out = run_source(SRC, &o).unwrap();
+        assert!(out.contains("\"prediction\""), "{out}");
+        assert!(out.contains("\"class\""), "{out}");
+        assert!(out.contains("\"capacity_bytes\""), "{out}");
+        assert!(out.contains("\"model\""), "{out}");
     }
 
     #[test]

@@ -427,6 +427,75 @@ impl ProfileSection {
     }
 }
 
+/// One capacity row of a static-prediction section.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PredictionEntry {
+    /// Cache capacity in bytes.
+    pub capacity: u64,
+    /// Predicted total misses (cold + capacity) at this capacity.
+    pub misses: u128,
+    /// Closed form of the miss model in `N` (branch for the predicted
+    /// size when the model is quasi-polynomial).
+    pub model: String,
+    /// Predicted misses per array: `(array name, misses)`.
+    pub per_array: Vec<(String, u128)>,
+}
+
+/// Static-prediction section: an analytical sweep evaluation from
+/// `gcr-static`'s symbolic reuse model — no trace simulation at the
+/// predicted size. Counts are `u128` (a 10⁹-size sweep overflows `u64`
+/// miss products); JSON emits them as integers when they fit `u64` and
+/// as floats beyond that.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PredictionSection {
+    /// Size parameter the sweep was evaluated at.
+    pub size: i64,
+    /// Time steps the model covers.
+    pub steps: usize,
+    /// Cache line size in bytes.
+    pub line: u64,
+    /// `"polynomial"` (regime evaluation) or `"direct"` (sub-regime
+    /// probe simulation).
+    pub method: String,
+    /// Construct class: `"exact"` or `"bounded"`.
+    pub class: String,
+    /// Documented relative-error bound (0 for exact).
+    pub tolerance: f64,
+    /// Fitted polynomial degree.
+    pub degree: usize,
+    /// Residue period of the quasi-polynomial model.
+    pub period: i64,
+    /// Regime floor: sizes below this were simulated directly.
+    pub regime_base: i64,
+    /// Probe simulations spent building the model.
+    pub probe_sims: u32,
+    /// Predicted total traced references.
+    pub refs: u128,
+    /// Per-capacity predictions, ascending.
+    pub capacities: Vec<PredictionEntry>,
+}
+
+impl PredictionSection {
+    /// Human-readable rendering (the `gcrc --static` output).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "prediction at N={} x{} ({} class, {} method, degree {}, {} probes):",
+            self.size, self.steps, self.class, self.method, self.degree, self.probe_sims
+        );
+        let _ = writeln!(out, "  {} refs", self.refs);
+        for e in &self.capacities {
+            let _ = writeln!(
+                out,
+                "  capacity {:>8} B: {:>14} misses   misses(N) = {}",
+                e.capacity, e.misses, e.model
+            );
+        }
+        out
+    }
+}
+
 /// Cache-simulation section: totals plus the per-phase breakdown.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimSection {
@@ -469,6 +538,8 @@ pub struct Report {
     pub profile: Option<ProfileSection>,
     /// Cache simulation, when measured.
     pub simulation: Option<SimSection>,
+    /// Static sweep prediction, when computed.
+    pub prediction: Option<PredictionSection>,
 }
 
 fn fallbacks_of(rob: &RobustnessReport) -> Vec<FallbackInfo> {
@@ -511,6 +582,7 @@ impl Report {
             fallbacks: fallbacks_of(&opt.robustness),
             profile: None,
             simulation: None,
+            prediction: None,
         }
     }
 
@@ -559,6 +631,7 @@ impl Report {
             ),
             ("profile", self.profile.as_ref().map_or(Json::Null, profile_json)),
             ("simulation", self.simulation.as_ref().map_or(Json::Null, sim_json)),
+            ("prediction", self.prediction.as_ref().map_or(Json::Null, prediction_json)),
         ])
     }
 
@@ -605,6 +678,9 @@ impl Report {
                     let _ = writeln!(out, "  phase {label:<18} {}", miss_line(c));
                 }
             }
+        }
+        if let Some(p) = &self.prediction {
+            out.push_str(&p.to_text());
         }
         out
     }
@@ -705,6 +781,18 @@ impl Report {
                 if c.refs > 0 {
                     row(&mut out, &format!("phase `{label}`"), c);
                 }
+            }
+        }
+        if let Some(p) = &self.prediction {
+            let _ = writeln!(
+                out,
+                "### Static prediction (N={}, {} steps, {} class, {} method)\n",
+                p.size, p.steps, p.class, p.method
+            );
+            let _ = writeln!(out, "| capacity B | misses | misses(N) |");
+            let _ = writeln!(out, "|------------|--------|-----------|");
+            for e in &p.capacities {
+                let _ = writeln!(out, "| {} | {} | `{}` |", e.capacity, e.misses, e.model);
             }
         }
         out
@@ -834,6 +922,60 @@ fn sim_json(s: &SimSection) -> Json {
                     .iter()
                     .map(|(label, c)| {
                         Json::O(vec![("label", Json::S(label.clone())), ("misses", miss_json(c))])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// `u128` counts serialize as exact integers while they fit `u64` and as
+/// floats beyond that (documented in EXPERIMENTS.md §7).
+fn big_json(v: u128) -> Json {
+    match u64::try_from(v) {
+        Ok(u) => Json::U(u),
+        Err(_) => Json::F(v as f64),
+    }
+}
+
+fn prediction_json(p: &PredictionSection) -> Json {
+    Json::O(vec![
+        ("size", Json::I(p.size)),
+        ("steps", Json::U(p.steps as u64)),
+        ("line_bytes", Json::U(p.line)),
+        ("method", Json::S(p.method.clone())),
+        ("class", Json::S(p.class.clone())),
+        ("tolerance", Json::F(p.tolerance)),
+        ("degree", Json::U(p.degree as u64)),
+        ("period", Json::I(p.period)),
+        ("regime_base", Json::I(p.regime_base)),
+        ("probe_sims", Json::U(p.probe_sims as u64)),
+        ("refs", big_json(p.refs)),
+        (
+            "capacities",
+            Json::A(
+                p.capacities
+                    .iter()
+                    .map(|e| {
+                        Json::O(vec![
+                            ("capacity_bytes", Json::U(e.capacity)),
+                            ("misses", big_json(e.misses)),
+                            ("model", Json::S(e.model.clone())),
+                            (
+                                "per_array",
+                                Json::A(
+                                    e.per_array
+                                        .iter()
+                                        .map(|(name, m)| {
+                                            Json::O(vec![
+                                                ("name", Json::S(name.clone())),
+                                                ("misses", big_json(*m)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
                     })
                     .collect(),
             ),

@@ -84,6 +84,80 @@ fn report_json_matches_golden() {
     );
 }
 
+/// Same workflow for the static-prediction section: probe simulations and
+/// polynomial fitting are fully deterministic (no wall-clock state inside
+/// the section), so a report carrying a `prediction` — closed-form model
+/// strings included — is golden-tested byte-for-byte too.
+#[test]
+fn static_prediction_report_matches_golden() {
+    let prog = gcr_frontend::parse(SRC).unwrap();
+    let strategy = Strategy::FusionOnly { levels: 3 };
+    let mut tracer = Tracer::disabled();
+    let opt = gcr_core::apply_strategy_checked_traced(
+        &prog,
+        strategy,
+        &SafetyOptions::default(),
+        &mut tracer,
+    )
+    .unwrap();
+    let mut report =
+        Report::new("golden-test", &prog, strategy.label(), &opt, tracer.into_events());
+
+    let spec = gcr_static::SweepSpec::new(32, vec![256, 1024], 1);
+    let a = gcr_static::Analyzer::analyze_with(
+        &opt.program,
+        spec,
+        gcr_exec::ExecEngine::default(),
+        gcr_static::DEFAULT_PROBE_FUEL,
+        |b| opt.layout(b),
+    )
+    .unwrap();
+    let p = a.predict(1_000_000).unwrap();
+    let m = a.model();
+    report.prediction = Some(gcr_cli::report::PredictionSection {
+        size: p.size,
+        steps: p.steps,
+        line: m.spec.line,
+        method: p.method.name().into(),
+        class: p.class.name().into(),
+        tolerance: p.tolerance,
+        degree: m.degree,
+        period: m.period,
+        regime_base: m.base,
+        probe_sims: m.probe_sims,
+        refs: p.refs,
+        capacities: p
+            .capacities
+            .iter()
+            .enumerate()
+            .map(|(ci, cp)| gcr_cli::report::PredictionEntry {
+                capacity: cp.capacity,
+                misses: cp.misses,
+                model: m.capacities[ci].global.render_at("N", p.size),
+                per_array: cp
+                    .per_array
+                    .iter()
+                    .enumerate()
+                    .map(|(ai, &mi)| (opt.program.arrays[ai].name.clone(), mi))
+                    .collect(),
+            })
+            .collect(),
+    });
+
+    let json = report.normalized().to_json();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/report_static.json");
+    if std::env::var_os("GCR_BLESS").is_some() {
+        std::fs::write(path, &json).unwrap();
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file missing — run once with GCR_BLESS=1 to create it");
+    assert_eq!(
+        json, golden,
+        "static-prediction report drifted from tests/golden/report_static.json; \
+         if the change is intentional, bless with GCR_BLESS=1 and update EXPERIMENTS.md"
+    );
+}
+
 #[test]
 fn normalization_only_touches_wall_clock() {
     let a = build_report();

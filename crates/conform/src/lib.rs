@@ -16,10 +16,13 @@
 //!    equals access count; per-array/per-phase slices sum to the global
 //!    histogram);
 //! 5. fused programs have size-independent reuse distances bounded by the
-//!    paper's `O(k·m)` constant on fusible loop chains.
+//!    paper's `O(k·m)` constant on fusible loop chains;
+//! 6. the analytic reuse model ([`gcr_static`]) reproduces the simulator's
+//!    miss counts at sizes its fit never saw — byte-exact on guard-free
+//!    (affine) programs, within its documented tolerance on guarded ones.
 //!
 //! This crate checks them on *millions* of programs: [`gen`] draws random
-//! valid `gcr-ir` programs from a seeded grammar, [`oracles`] runs the five
+//! valid `gcr-ir` programs from a seeded grammar, [`oracles`] runs the six
 //! metamorphic oracles above, [`mod@shrink`] minimizes any failure by
 //! loop/statement/expression deletion, and [`corpus`] replays the minimized
 //! reproducers committed under `corpus/*.loop` as ordinary unit tests. The

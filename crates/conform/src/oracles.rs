@@ -1,4 +1,4 @@
-//! The five metamorphic oracles.
+//! The six metamorphic oracles.
 //!
 //! Each oracle takes a program and returns `Err(diagnostic)` when one of
 //! the workspace's cross-cutting invariants is violated. Panics inside the
@@ -12,6 +12,7 @@
 //! | [`Oracle::Sweep`]    | single-pass sweep ≡ per-capacity LRU; inclusion property | exact miss counts |
 //! | [`Oracle::Profile`]  | reuse profiles are internally consistent | histogram masses |
 //! | [`Oracle::Bound`]    | fused reuse distances are `O(k·m)`, size-independent | max exact distance at two sizes |
+//! | [`Oracle::Static`]   | analytic miss model ≡ trace simulation at unseen sizes | miss counts per capacity and array, by construct class |
 
 use gcr_cache::{Cache, CacheConfig, CapacitySweepSink};
 use gcr_core::checked::{optimize_checked, Pass, SafetyOptions};
@@ -21,7 +22,7 @@ use gcr_ir::{ParamBinding, Program, StmtId};
 use gcr_reuse::{Histogram, ProfileSink, ReuseDistanceAnalyzer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// One of the five conformance oracles.
+/// One of the six conformance oracles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Oracle {
     /// Differential interpreter-vs-compiled execution.
@@ -34,11 +35,19 @@ pub enum Oracle {
     Profile,
     /// Fused-chain reuse-distance bound (`O(k·m)`, size-independent).
     Bound,
+    /// Analytic miss model vs trace simulation at sizes the fit never saw.
+    Static,
 }
 
 /// All oracles, in documentation order.
-pub const ALL_ORACLES: [Oracle; 5] =
-    [Oracle::Engine, Oracle::Optimize, Oracle::Sweep, Oracle::Profile, Oracle::Bound];
+pub const ALL_ORACLES: [Oracle; 6] = [
+    Oracle::Engine,
+    Oracle::Optimize,
+    Oracle::Sweep,
+    Oracle::Profile,
+    Oracle::Bound,
+    Oracle::Static,
+];
 
 impl Oracle {
     /// Stable CLI name.
@@ -49,6 +58,7 @@ impl Oracle {
             Oracle::Sweep => "sweep",
             Oracle::Profile => "profile",
             Oracle::Bound => "bound",
+            Oracle::Static => "static",
         }
     }
 
@@ -77,6 +87,7 @@ pub fn run_oracle(oracle: Oracle, prog: &Program) -> Result<(), String> {
         Oracle::Sweep => sweep_vs_sim(prog),
         Oracle::Profile => profile_consistency(prog),
         Oracle::Bound => fused_bound(prog),
+        Oracle::Static => static_parity(prog),
     }));
     match res {
         Ok(r) => r,
@@ -603,6 +614,99 @@ fn fused_bound(prog: &Program) -> Result<(), String> {
         return Err(format!(
             "fused max reuse distance {d1} exceeds O(k·m) bound {bound} (k={k}, m={m})"
         ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- oracle 6
+
+/// Slack added to a bounded model's own tolerance when comparing against
+/// the simulator: the model documents its holdout error, which small
+/// verification sizes can exceed by quantization noise.
+const BOUNDED_SLACK: f64 = 0.02;
+
+/// Oracle 6: the analytic reuse model ([`gcr_static`]) must reproduce the
+/// trace simulator's miss counts at sizes its fit never saw, with the
+/// accuracy its construct class promises: **byte-exact** for guard-free
+/// (affine) programs, within the model's own documented tolerance (plus
+/// [`BOUNDED_SLACK`]) for guarded ones. A refusal (`NotAnalyzable`) is
+/// only acceptable inside the model's documented exclusions — several
+/// size parameters, or a guarded program whose fit failed; a guard-free
+/// single-parameter program that the model refuses is an oracle failure.
+fn static_parity(prog: &Program) -> Result<(), String> {
+    if prog.params.len() > 1 {
+        return Ok(()); // documented exclusion: the model is univariate
+    }
+    // Small line and capacities keep the regime floor — and with it the
+    // probe and verification simulations — cheap for arbitrary nest depth.
+    let line: u64 = 16;
+    let caps: Vec<u64> = vec![64, 256];
+    let steps = 2;
+    let spec = gcr_static::SweepSpec::new(line, caps.clone(), steps);
+    let analyzer =
+        match gcr_static::Analyzer::analyze_with(prog, spec, ExecEngine::from_env(), FUEL, |b| {
+            DataLayout::column_major(prog, b, 0)
+        }) {
+            Ok(a) => a,
+            Err(gcr_static::StaticError::NotAnalyzable { reason }) => {
+                if gcr_static::has_guards(prog) {
+                    return Ok(()); // documented refusal on guarded control flow
+                }
+                return Err(format!("guard-free program refused by the model: {reason}"));
+            }
+            Err(gcr_static::StaticError::Gcr(gcr_ir::GcrError::BudgetExceeded { .. })) => {
+                return Ok(()); // probe too expensive at this fuel: out of scope
+            }
+            Err(gcr_static::StaticError::Gcr(e)) => return Err(format!("probe run failed: {e}")),
+        };
+    let model = analyzer.model();
+    // Two sizes the fit never touched: just past the regime floor and a
+    // different residue class farther out.
+    for n in [model.base + 5, 2 * model.base + 3] {
+        let p = match analyzer.predict(n) {
+            Ok(p) => p,
+            Err(e) => return Err(format!("predict({n}) failed: {e}")),
+        };
+        let mut sink = CapacitySweepSink::new(line, &caps);
+        let binding = ParamBinding::new(vec![n; prog.params.len()]);
+        let mut m = Machine::new(prog, binding);
+        match m.run_steps_guarded(&mut sink, steps, FUEL) {
+            Ok(()) => {}
+            Err(gcr_ir::GcrError::BudgetExceeded { .. }) => return Ok(()),
+            Err(e) => return Err(format!("verification run failed at N={n}: {e}")),
+        }
+        if p.refs != sink.refs() as u128 {
+            return Err(format!(
+                "refs diverged at N={n}: model {} vs simulated {}",
+                p.refs,
+                sink.refs()
+            ));
+        }
+        for cp in &p.capacities {
+            let want = sink.misses(cp.capacity) as u128;
+            match p.class {
+                gcr_static::Class::Exact => {
+                    if cp.misses != want {
+                        return Err(format!(
+                            "exact-class misses diverged at N={n}, capacity {}B: \
+                             model {} vs simulated {want}",
+                            cp.capacity, cp.misses
+                        ));
+                    }
+                }
+                gcr_static::Class::Bounded => {
+                    let tol = model.tolerance + BOUNDED_SLACK;
+                    let err = (cp.misses as f64 - want as f64).abs() / (want as f64).max(1.0);
+                    if err > tol {
+                        return Err(format!(
+                            "bounded-class misses off by {err:.4} (> {tol:.4}) at N={n}, \
+                             capacity {}B: model {} vs simulated {want}",
+                            cp.capacity, cp.misses
+                        ));
+                    }
+                }
+            }
+        }
     }
     Ok(())
 }

@@ -7,6 +7,8 @@
 //! [`ProtoError::Truncated`] instead of misparsing the tail of one
 //! message as the head of the next.
 //!
+//! # Wire format
+//!
 //! Request payload:
 //!
 //! ```text
@@ -23,12 +25,73 @@
 //! gcr-serve/v1 err <code>\n\n<JSON body>
 //! ```
 //!
-//! Error codes are a closed set ([`ErrCode`]); the JSON body of an error
-//! always carries `error` (the code again) and `message`, plus
-//! code-specific diagnostic fields (a timeout reports its deadline and
-//! elapsed time). The version token is checked on both sides: a server
-//! answering a `gcr-serve/v2` client says `err unsupported-version`
-//! rather than guessing.
+//! # Verbs
+//!
+//! | verb       | body           | headers                                        | answers with |
+//! |------------|----------------|------------------------------------------------|--------------|
+//! | `health`   | —              | —                                              | status, uptime, pool geometry |
+//! | `report`   | —              | —                                              | request/error/cache counters |
+//! | `optimize` | program source | `strategy`, `deadline_ms`                      | optimized program + diagnostics |
+//! | `measure`  | —              | `app`, `strategy`, `size`, `steps`, `deadline_ms` | simulated miss counts and cycles |
+//! | `predict`  | program source | `strategy`, `size`, `steps`, `fallback`, `deadline_ms` | analytic miss counts from the [`gcr_static`] model |
+//! | `shutdown` | —              | —                                              | `{"draining": true}` |
+//!
+//! `predict` accepts sizes far beyond the simulator's request bound
+//! (`size` up to 10⁹): the symbolic model evaluates in microseconds at
+//! any size. When the program defeats the model (several size
+//! parameters, fit failure past tolerance), the server falls back to
+//! direct simulation if `fallback=sim` (the default) *and* the size is
+//! small enough to simulate interactively; otherwise it answers
+//! `err not-analyzable`.
+//!
+//! # Error codes
+//!
+//! A closed set ([`ErrCode`]); the JSON body of an error always carries
+//! `error` (the code again) and `message`, plus code-specific diagnostic
+//! fields (a timeout reports its deadline and elapsed time).
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | `bad-request`         | parsed, but nonsensical (unknown verb/strategy, bound violation) |
+//! | `unsupported-version` | the peer speaks a different `gcr-serve/…` version |
+//! | `panic`               | the handler panicked; the panic was isolated, the server lives |
+//! | `timeout`             | deadline or interpreter-fuel budget exhausted |
+//! | `overloaded`          | admission queue full; request shed unstarted |
+//! | `shutting-down`       | server is draining; no new work |
+//! | `not-analyzable`      | `predict` could not build a symbolic model and fallback simulation was unavailable |
+//! | `internal`            | the pipeline or simulator rejected the request for its content |
+//!
+//! The version token is checked on both sides: a server answering a
+//! `gcr-serve/v2` client says `err unsupported-version` rather than
+//! guessing.
+//!
+//! # Examples
+//!
+//! Requests and responses round-trip through [`Request::encode`] /
+//! [`Request::parse`]:
+//!
+//! ```
+//! use gcr_serve::proto::Request;
+//!
+//! let req = Request::new("predict")
+//!     .with("size", 1_000_000_000i64)
+//!     .with("strategy", "fuse+group")
+//!     .with_body("program p\nparam N\narray A[N]\nfor i = 1, N { A[i] = f(A[i]) }\n");
+//! let back = Request::parse(&req.encode()).unwrap();
+//! assert_eq!(back.verb, "predict");
+//! assert_eq!(back.header("size"), Some("1000000000"));
+//! ```
+//!
+//! Every error code has a stable wire name that parses back to itself:
+//!
+//! ```
+//! use gcr_serve::proto::ErrCode;
+//!
+//! assert_eq!(ErrCode::NotAnalyzable.name(), "not-analyzable");
+//! for code in ErrCode::ALL {
+//!     assert_eq!(ErrCode::from_name(code.name()), Some(code));
+//! }
+//! ```
 
 use std::io::{ErrorKind, Read, Write};
 
@@ -170,7 +233,8 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
 /// A parsed request frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Request {
-    /// The operation: `optimize`, `measure`, `report`, `health`, `shutdown`.
+    /// The operation: `optimize`, `measure`, `predict`, `report`,
+    /// `health`, `shutdown`.
     pub verb: String,
     /// `key=value` headers in wire order.
     pub headers: Vec<(String, String)>,
@@ -265,19 +329,24 @@ pub enum ErrCode {
     Overloaded,
     /// The server is draining and accepts no new work.
     ShuttingDown,
+    /// `predict` could not build a symbolic reuse model for the program
+    /// and fallback simulation was unavailable (disabled, or the size is
+    /// beyond the interactive simulation bound).
+    NotAnalyzable,
     /// The pipeline or simulator rejected the request for its content.
     Internal,
 }
 
 impl ErrCode {
     /// All codes, for exhaustive accounting.
-    pub const ALL: [ErrCode; 7] = [
+    pub const ALL: [ErrCode; 8] = [
         ErrCode::BadRequest,
         ErrCode::UnsupportedVersion,
         ErrCode::Panic,
         ErrCode::Timeout,
         ErrCode::Overloaded,
         ErrCode::ShuttingDown,
+        ErrCode::NotAnalyzable,
         ErrCode::Internal,
     ];
 
@@ -290,6 +359,7 @@ impl ErrCode {
             ErrCode::Timeout => "timeout",
             ErrCode::Overloaded => "overloaded",
             ErrCode::ShuttingDown => "shutting-down",
+            ErrCode::NotAnalyzable => "not-analyzable",
             ErrCode::Internal => "internal",
         }
     }

@@ -44,6 +44,13 @@ pub const MAX_SIZE: i64 = 512;
 pub const MAX_STEPS: usize = 16;
 /// Upper bound on the `deadline_ms` header.
 pub const MAX_DEADLINE_MS: u64 = 600_000;
+/// Upper bound on the `size` header of `predict`. Far beyond [`MAX_SIZE`]
+/// because the symbolic model evaluates in microseconds regardless of the
+/// size; only its one-time probe fits cost simulation time, and those run
+/// at small fixed sizes.
+pub const MAX_PREDICT_SIZE: i64 = 1_000_000_000;
+/// Capacity ladder `predict` models, matching the `gcrc --static` sweep.
+pub const PREDICT_CAPACITIES: [u64; 4] = [256, 1024, 4096, 16384];
 
 /// Tunables fixed at construction.
 #[derive(Clone, Copy, Debug)]
@@ -145,6 +152,7 @@ impl Server {
             }
             "optimize" => self.optimize(&req),
             "measure" => self.measure(&req),
+            "predict" => self.predict(&req),
             other => self.err(ErrCode::BadRequest, format!("unknown verb {other:?}"), vec![]),
         }
     }
@@ -297,6 +305,120 @@ impl Server {
         match result {
             Ok(Ok(body)) => self.ok_resp(body),
             Ok(Err(e)) => self.pipeline_err(e),
+            Err(resp) => resp,
+        }
+    }
+
+    /// `predict`: evaluate the analytic reuse model of [`gcr_static`] at
+    /// one size. Sizes range up to [`MAX_PREDICT_SIZE`] — three orders of
+    /// magnitude past what `measure` will simulate — because evaluation
+    /// is closed-form; the worker only spends simulation time on the
+    /// model's small fixed-size probe fits. Programs the model cannot
+    /// analyze fall back to one direct capacity-sweep simulation when
+    /// `fallback=sim` (the default) and the size is within [`MAX_SIZE`];
+    /// otherwise the answer is `err not-analyzable`.
+    fn predict(&self, req: &Request) -> Response {
+        let strategy = match self.strategy_of(req) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let deadline = match self.deadline_of(req) {
+            Ok(d) => d,
+            Err(resp) => return resp,
+        };
+        if req.body.trim().is_empty() {
+            return self.err(
+                ErrCode::BadRequest,
+                "predict needs the program source as the request body".into(),
+                vec![],
+            );
+        }
+        let size = match self.header_int(req, "size", 1_000_000, 8, MAX_PREDICT_SIZE) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let steps = match self.header_int(req, "steps", 1, 1, MAX_STEPS as i64) {
+            Ok(v) => v as usize,
+            Err(resp) => return resp,
+        };
+        let fallback = match req.header("fallback").unwrap_or("sim") {
+            "sim" => true,
+            "none" => false,
+            other => {
+                return self.err(
+                    ErrCode::BadRequest,
+                    format!("bad fallback {other:?} (expected `sim` or `none`)"),
+                    vec![],
+                )
+            }
+        };
+        let source = req.body.clone();
+        let result = self.run_pooled(deadline, move || -> Result<Json, gcr_static::StaticError> {
+            let prog = gcr_frontend::parse(&source).map_err(GcrError::from)?;
+            let mut tracer = gcr_core::Tracer::disabled();
+            let opt = apply_strategy_checked_traced(
+                &prog,
+                strategy,
+                &SafetyOptions::default(),
+                &mut tracer,
+            )?;
+            let spec = gcr_static::SweepSpec::new(32, PREDICT_CAPACITIES.to_vec(), steps);
+            let analysis = gcr_static::Analyzer::analyze_with(
+                &opt.program,
+                spec,
+                gcr_exec::ExecEngine::default(),
+                gcr_static::DEFAULT_PROBE_FUEL,
+                |b| opt.layout(b),
+            )
+            .and_then(|a| {
+                let p = a.predict(size)?;
+                Ok(prediction_body(&opt.program, a.model(), &p))
+            });
+            match analysis {
+                Err(gcr_static::StaticError::NotAnalyzable { reason })
+                    if fallback && size <= MAX_SIZE =>
+                {
+                    // One direct sweep simulation stands in for the
+                    // missing model: exact, but only at this size.
+                    let bind = gcr_ir::ParamBinding::new(vec![size; opt.program.params.len()]);
+                    let layout = opt.layout(&bind);
+                    let mut m = gcr_exec::Machine::with_layout(&opt.program, bind, layout);
+                    let mut sink = gcr_cache::CapacitySweepSink::new(32, &PREDICT_CAPACITIES);
+                    m.run_steps_guarded(&mut sink, steps, gcr_static::DEFAULT_PROBE_FUEL)
+                        .map_err(gcr_static::StaticError::Gcr)?;
+                    let caps: Vec<Json> = sink
+                        .miss_counts()
+                        .into_iter()
+                        .map(|(cap, misses)| {
+                            Json::O(vec![
+                                ("capacity_bytes", Json::U(cap)),
+                                ("misses", Json::U(misses)),
+                            ])
+                        })
+                        .collect();
+                    Ok(Json::O(vec![
+                        ("size", Json::I(size)),
+                        ("steps", Json::U(steps as u64)),
+                        ("line_bytes", Json::U(32)),
+                        ("method", Json::S("simulation".into())),
+                        ("class", Json::S("exact".into())),
+                        ("tolerance", Json::F(0.0)),
+                        ("fallback_reason", Json::S(reason)),
+                        ("refs", Json::U(sink.refs())),
+                        ("capacities", Json::A(caps)),
+                    ]))
+                }
+                other => other,
+            }
+        });
+        match result {
+            Ok(Ok(body)) => self.ok_resp(body),
+            Ok(Err(gcr_static::StaticError::NotAnalyzable { reason })) => self.err(
+                ErrCode::NotAnalyzable,
+                reason,
+                vec![("size", Json::I(size)), ("max_sim_size", Json::I(MAX_SIZE))],
+            ),
+            Ok(Err(gcr_static::StaticError::Gcr(e))) => self.pipeline_err(e),
             Err(resp) => resp,
         }
     }
@@ -499,6 +621,66 @@ impl Server {
     }
 }
 
+/// Counters can exceed `u64` at predicted sizes (a 2-deep nest at
+/// N = 10⁹ touches 10¹⁸ elements); JSON stays exact while the value fits
+/// an integer and degrades to a float beyond that.
+fn big_json(v: u128) -> Json {
+    if v <= u64::MAX as u128 {
+        Json::U(v as u64)
+    } else {
+        Json::F(v as f64)
+    }
+}
+
+/// The `ok` body of a `predict` answered by the symbolic model. Field
+/// names match the `prediction` section of `gcr-report/v1` so clients
+/// parse both with one schema.
+fn prediction_body(
+    prog: &gcr_ir::Program,
+    m: &gcr_static::Model,
+    p: &gcr_static::Prediction,
+) -> Json {
+    let var = prog.params.first().map_or("N", |d| d.name.as_str());
+    let caps: Vec<Json> = p
+        .capacities
+        .iter()
+        .enumerate()
+        .map(|(ci, cp)| {
+            let per_array: Vec<Json> = cp
+                .per_array
+                .iter()
+                .enumerate()
+                .map(|(ai, &misses)| {
+                    Json::O(vec![
+                        ("name", Json::S(prog.arrays[ai].name.clone())),
+                        ("misses", big_json(misses)),
+                    ])
+                })
+                .collect();
+            Json::O(vec![
+                ("capacity_bytes", Json::U(cp.capacity)),
+                ("misses", big_json(cp.misses)),
+                ("model", Json::S(m.capacities[ci].global.render_at(var, p.size))),
+                ("per_array", Json::A(per_array)),
+            ])
+        })
+        .collect();
+    Json::O(vec![
+        ("size", Json::I(p.size)),
+        ("steps", Json::U(p.steps as u64)),
+        ("line_bytes", Json::U(m.spec.line)),
+        ("method", Json::S(p.method.name().into())),
+        ("class", Json::S(p.class.name().into())),
+        ("tolerance", Json::F(p.tolerance)),
+        ("degree", Json::U(m.degree as u64)),
+        ("period", Json::I(m.period)),
+        ("regime_base", Json::I(m.base)),
+        ("probe_sims", Json::U(m.probe_sims as u64)),
+        ("refs", big_json(p.refs)),
+        ("capacities", Json::A(caps)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -576,6 +758,69 @@ for i = 1, N {
         assert_eq!(bad.code, Some(ErrCode::BadRequest));
         let bad = handle(&s, &Request::new("measure").with("app", "ADI").with("size", 100_000));
         assert_eq!(bad.code, Some(ErrCode::BadRequest), "size bound");
+    }
+
+    #[test]
+    fn predict_answers_at_sizes_simulation_refuses() {
+        let s = server();
+        // A billion elements: far beyond MAX_SIZE, microseconds for the
+        // symbolic model.
+        let req = Request::new("predict")
+            .with("strategy", "fuse")
+            .with("size", 1_000_000_000i64)
+            .with_body(DEMO);
+        let a = handle(&s, &req);
+        assert!(a.is_ok(), "{}", a.body);
+        assert!(a.body.contains("\"method\": \"polynomial\""), "{}", a.body);
+        assert!(a.body.contains("\"class\": \"exact\""), "{}", a.body);
+        assert!(a.body.contains("\"model\""), "{}", a.body);
+        // Determinism: probes and fitting are replayable.
+        let b = handle(&s, &req);
+        assert_eq!(a, b, "prediction must be deterministic");
+
+        let bad = handle(&s, &Request::new("predict").with("strategy", "fuse"));
+        assert_eq!(bad.code, Some(ErrCode::BadRequest), "empty body");
+        let bad =
+            handle(&s, &Request::new("predict").with("size", MAX_PREDICT_SIZE + 1).with_body(DEMO));
+        assert_eq!(bad.code, Some(ErrCode::BadRequest), "size bound");
+        let bad = handle(&s, &Request::new("predict").with("fallback", "maybe").with_body(DEMO));
+        assert_eq!(bad.code, Some(ErrCode::BadRequest), "bad fallback value");
+    }
+
+    #[test]
+    fn unanalyzable_predict_falls_back_or_errors() {
+        let s = server();
+        // Two size parameters defeat the univariate model.
+        let multi = "
+program multi
+param N, M
+array A[N], B[M]
+for i = 1, N {
+  A[i] = f(A[i])
+}
+for j = 1, M {
+  B[j] = g(B[j])
+}
+";
+        // Small size + default fallback: answered by direct simulation.
+        let ok = handle(&s, &Request::new("predict").with("size", 64).with_body(multi));
+        assert!(ok.is_ok(), "{}", ok.body);
+        assert!(ok.body.contains("\"method\": \"simulation\""), "{}", ok.body);
+        assert!(ok.body.contains("\"fallback_reason\""), "{}", ok.body);
+
+        // Fallback disabled: structured not-analyzable error.
+        let err = handle(
+            &s,
+            &Request::new("predict").with("size", 64).with("fallback", "none").with_body(multi),
+        );
+        assert_eq!(err.code, Some(ErrCode::NotAnalyzable), "{}", err.body);
+        assert!(err.body.contains("\"error\": \"not-analyzable\""), "{}", err.body);
+
+        // Size beyond the simulation bound: fallback is impossible even
+        // when allowed.
+        let err = handle(&s, &Request::new("predict").with("size", 1_000_000).with_body(multi));
+        assert_eq!(err.code, Some(ErrCode::NotAnalyzable), "{}", err.body);
+        assert!(err.body.contains("\"max_sim_size\""), "{}", err.body);
     }
 
     #[test]
