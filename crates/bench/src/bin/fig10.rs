@@ -27,6 +27,12 @@ use gcr_core::regroup::RegroupLevel;
 use std::time::Instant;
 
 fn main() {
+    // Fail fast on a bad GCR_EXEC instead of silently measuring under the
+    // default engine.
+    if let Err(e) = gcr_exec::ExecEngine::from_env() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
     let args: Vec<String> = std::env::args().collect();
     let get = |flag: &str| -> Option<String> {
         args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())

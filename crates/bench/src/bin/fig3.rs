@@ -37,6 +37,12 @@ struct PlotJob {
 }
 
 fn main() {
+    // Fail fast on a bad GCR_EXEC instead of silently measuring under the
+    // default engine.
+    if let Err(e) = gcr_exec::ExecEngine::from_env() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let get = |flag: &str| -> Option<String> {

@@ -8,11 +8,12 @@
 //! on a single-core container), and `identical` proves the parallelism
 //! changed nothing but time.
 //!
-//! It is also the acceptance artifact for the compiled execution engine:
-//! the `exec` section times cold runs of the Figure-3 job list (ADI
-//! 50²/100², SP 14³/28³) under the tree-walking interpreter and the
-//! compiled tape — pure execution and full trace capture separately —
-//! hashes both address streams, and records the speedups.
+//! It is also the acceptance artifact for the execution engines: the
+//! `exec` section times cold runs of the Figure-3 job list (ADI
+//! 50²/100², SP 14³/28³) under the tree-walking interpreter, the
+//! compiled tape, and the register bytecode VM — pure execution and full
+//! trace capture separately — hashes all three address streams, and
+//! records the speedups.
 //!
 //! Usage: `sweep_bench [--size-scale F] [--steps K] [--threads N]
 //! [--json PATH]`
@@ -28,6 +29,12 @@ use std::hash::Hasher;
 use std::time::Instant;
 
 fn main() {
+    // Fail fast on a bad GCR_EXEC instead of silently benchmarking the
+    // wrong engine.
+    if let Err(e) = ExecEngine::from_env() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
     let args: Vec<String> = std::env::args().collect();
     let get = |flag: &str| -> Option<String> {
         args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
@@ -91,6 +98,7 @@ fn main() {
         ("jobs", Json::U(jobs.len() as u64)),
         ("steps", Json::U(steps as u64)),
         ("threads", Json::U(threads as u64)),
+        ("host_cpus", Json::U(gcr_par::thread_count() as u64)),
         ("serial_wall_ns", Json::U(serial_ns)),
         ("parallel_wall_ns", Json::U(parallel_ns)),
         ("speedup", Json::F(speedup)),
@@ -118,7 +126,7 @@ fn main() {
         std::process::exit(1);
     }
     if !exec_identical {
-        eprintln!("interpreter and compiled engine traces diverged — compiled engine is broken");
+        eprintln!("execution engine traces diverged — an engine is broken");
         std::process::exit(1);
     }
 }
@@ -130,8 +138,8 @@ struct ExecJob {
     size: i64,
 }
 
-/// Times cold runs of the Figure-3 job list under both engines and checks
-/// the address streams are identical. Two wall times are recorded per
+/// Times cold runs of the Figure-3 job list under all three engines and
+/// checks the address streams are identical. Two wall times are recorded per
 /// engine: pure execution (`NullSink` — the interpreter overhead the
 /// compiled engine exists to remove) and trace capture (execution plus the
 /// sink's memory-bandwidth-bound trace writes, which are identical work in
@@ -162,7 +170,7 @@ fn exec_compare(scale: f64) -> (Json, bool) {
     fn machine<'p>(job: &'p ExecJob, engine: ExecEngine) -> Machine<'p> {
         let bind = ParamBinding::new(vec![job.size]);
         let mut m = Machine::new(&job.prog, bind).with_engine(engine);
-        if engine == ExecEngine::Compiled {
+        if engine != ExecEngine::Interp {
             assert!(m.compiles(), "{}: fig3 job left the compiled domain", job.name);
         }
         m
@@ -192,53 +200,75 @@ fn exec_compare(scale: f64) -> (Json, bool) {
             let t = Instant::now();
             m.run(cap);
             best = best.min(t.elapsed().as_nanos() as u64);
-            hash = trace_hash(&cap.trace);
+            hash = trace_hash(cap.trace());
         }
         (best, hash)
     };
 
     let mut run_i = 0u64;
     let mut run_c = 0u64;
+    let mut run_v = 0u64;
     let mut cap_i = 0u64;
     let mut cap_c = 0u64;
+    let mut cap_v = 0u64;
     let mut identical = true;
     for job in &jobs {
         // Warm-up: faults in the trace buffer (and compiles the tape).
         let (_, _) = capture(job, ExecEngine::Compiled, &mut cap);
         run_i += run(job, ExecEngine::Interp);
         run_c += run(job, ExecEngine::Compiled);
+        run_v += run(job, ExecEngine::Vm);
         let (ni, hi) = capture(job, ExecEngine::Interp, &mut cap);
         let (nc, hc) = capture(job, ExecEngine::Compiled, &mut cap);
+        let (nv, hv) = capture(job, ExecEngine::Vm, &mut cap);
         cap_i += ni;
         cap_c += nc;
-        if hi != hc {
-            eprintln!("{}: interpreter and compiled traces differ", job.name);
+        cap_v += nv;
+        if hi != hc || hi != hv {
+            eprintln!(
+                "{}: engine traces differ (interp {hi:016x}, compiled {hc:016x}, vm {hv:016x})",
+                job.name
+            );
             identical = false;
         }
     }
     let speedup = run_i as f64 / run_c.max(1) as f64;
     let cap_speedup = cap_i as f64 / cap_c.max(1) as f64;
+    let vm_speedup = run_i as f64 / run_v.max(1) as f64;
+    // The headline VM number: capture wall time against the compiled tape
+    // — the dispatch-per-event cost the VM's strip batching removes.
+    let vm_cap_speedup = cap_c as f64 / cap_v.max(1) as f64;
     println!(
         "exec engines on {} fig3 jobs (cold): run interp {:.3}s vs compiled {:.3}s \
-         (speedup {speedup:.2}x), capture {:.3}s vs {:.3}s ({cap_speedup:.2}x), \
-         traces identical: {identical}",
+         ({speedup:.2}x) vs vm {:.3}s ({vm_speedup:.2}x over interp), \
+         capture interp {:.3}s vs compiled {:.3}s ({cap_speedup:.2}x) vs vm {:.3}s \
+         ({vm_cap_speedup:.2}x over compiled), traces identical: {identical}",
         jobs.len(),
         run_i as f64 / 1e9,
         run_c as f64 / 1e9,
+        run_v as f64 / 1e9,
         cap_i as f64 / 1e9,
         cap_c as f64 / 1e9,
+        cap_v as f64 / 1e9,
     );
     if speedup < 3.0 {
         println!("note: compiled-engine run speedup {speedup:.2}x is below the 3x target");
+    }
+    if vm_cap_speedup < 2.5 {
+        println!("note: vm capture speedup {vm_cap_speedup:.2}x is below the 2.5x target");
     }
     let json = Json::O(vec![
         ("jobs", Json::U(jobs.len() as u64)),
         ("interp_run_ns", Json::U(run_i)),
         ("compiled_run_ns", Json::U(run_c)),
+        ("vm_run_ns", Json::U(run_v)),
         ("speedup", Json::F(speedup)),
+        ("vm_run_speedup", Json::F(vm_speedup)),
         ("interp_capture_ns", Json::U(cap_i)),
         ("compiled_capture_ns", Json::U(cap_c)),
+        ("vm_capture_ns", Json::U(cap_v)),
         ("capture_speedup", Json::F(cap_speedup)),
+        ("vm_capture_speedup", Json::F(vm_cap_speedup)),
         ("identical", Json::Bool(identical)),
     ]);
     (json, identical)

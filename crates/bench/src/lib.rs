@@ -235,6 +235,12 @@ impl<A: TraceSink, B: TraceSink> TraceSink for Tee<'_, A, B> {
         self.a.end_instance(stmt);
         self.b.end_instance(stmt);
     }
+
+    fn record_batch(&mut self, batch: &gcr_exec::TraceBatch<'_>) {
+        // Forward the batch whole so both sides keep their fast paths.
+        self.a.record_batch(batch);
+        self.b.record_batch(batch);
+    }
 }
 
 // ---------------------------------------------------------------------------

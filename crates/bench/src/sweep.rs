@@ -490,7 +490,7 @@ pub fn measure_strategy_report_cached(
     size: i64,
     steps: usize,
 ) -> Result<(Measurement, Report, Vec<String>), GcrError> {
-    let engine = ExecEngine::from_env();
+    let engine = ExecEngine::from_env().unwrap_or_default();
     measure_strategy_report_cached_with(cache, generator, app, strategy, size, steps, engine)
 }
 
@@ -597,7 +597,7 @@ pub fn run_jobs(
     generator: &str,
     jobs: &[SweepJob<'_>],
 ) -> Vec<JobResult> {
-    run_jobs_with(threads, cache, generator, jobs, ExecEngine::from_env())
+    run_jobs_with(threads, cache, generator, jobs, ExecEngine::from_env().unwrap_or_default())
 }
 
 /// [`run_jobs`] with an explicit execution engine for every job — how

@@ -173,6 +173,16 @@ impl TraceSink for HierarchySink {
     fn access(&mut self, ev: AccessEvent) {
         self.hierarchy.access_rw(ev.addr, ev.is_write);
     }
+
+    fn record_batch(&mut self, batch: &gcr_exec::TraceBatch<'_>) {
+        // The hierarchy is boundary-blind: one tight affine expansion
+        // loop per strip, in stream order.
+        for k in 0..batch.iters as i64 {
+            for sl in batch.slots {
+                self.hierarchy.access_rw(sl.addr_at(k), sl.is_write);
+            }
+        }
+    }
 }
 
 /// [`HierarchySink`] with per-phase miss attribution: every access is
@@ -252,6 +262,22 @@ impl TraceSink for PhasedHierarchySink {
             self.current = Some(phase);
         }
         self.hierarchy.access_rw(ev.addr, ev.is_write);
+    }
+
+    fn record_batch(&mut self, batch: &gcr_exec::TraceBatch<'_>) {
+        // Attribution only depends on each event's phase, in stream order;
+        // each slot's phase is loop-invariant, so within a strip the check
+        // reduces to a predictable compare per event.
+        for k in 0..batch.iters as i64 {
+            for sl in batch.slots {
+                let phase = self.phase_of.get(sl.stmt.index()).copied().unwrap_or(0);
+                if self.current != Some(phase) {
+                    self.flush();
+                    self.current = Some(phase);
+                }
+                self.hierarchy.access_rw(sl.addr_at(k), sl.is_write);
+            }
+        }
     }
 }
 

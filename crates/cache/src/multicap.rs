@@ -96,6 +96,20 @@ impl TraceSink for CapacitySweepSink {
             self.counter.record(d);
         }
     }
+
+    fn record_batch(&mut self, batch: &gcr_exec::TraceBatch<'_>) {
+        // Distances ignore instance boundaries and the write flag; one
+        // affine expansion loop in stream order amortizes the virtual
+        // call across the whole strip.
+        self.refs += batch.len() as u64;
+        for k in 0..batch.iters as i64 {
+            for sl in batch.slots {
+                if let Some(d) = self.analyzer.access(sl.addr_at(k)) {
+                    self.counter.record(d);
+                }
+            }
+        }
+    }
 }
 
 /// One access stream fanned out to many [`MemoryHierarchy`]s: the
@@ -123,6 +137,19 @@ impl TraceSink for MultiHierarchySink {
     fn access(&mut self, ev: AccessEvent) {
         for h in &mut self.hierarchies {
             h.access_rw(ev.addr, ev.is_write);
+        }
+    }
+
+    fn record_batch(&mut self, batch: &gcr_exec::TraceBatch<'_>) {
+        // Hierarchy-major: each hierarchy is independent, so sweeping one
+        // hierarchy over the whole strip (in stream order) keeps its tag
+        // arrays hot instead of round-robining every hierarchy per event.
+        for h in &mut self.hierarchies {
+            for k in 0..batch.iters as i64 {
+                for sl in batch.slots {
+                    h.access_rw(sl.addr_at(k), sl.is_write);
+                }
+            }
         }
     }
 }

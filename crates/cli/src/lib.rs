@@ -143,10 +143,11 @@ options:
                      stop at the last verified program instead
   --fuel <N>         interpreter step budget for semantic checks and
                      --simulate (terminates runaway programs)
-  --exec <engine>    execution engine for measurement runs: compiled
-                     (default; bytecode tape with affine address walkers)
-                     or interp (the reference tree-walking interpreter);
-                     overrides the GCR_EXEC environment variable
+  --exec <engine>    execution engine for measurement runs: vm (default;
+                     register bytecode VM with superinstructions and
+                     strip execution), compiled (bytecode tape with
+                     affine address walkers), or interp (the reference
+                     tree-walking interpreter); overrides GCR_EXEC
 ";
 
 fn usage_err(msg: String) -> GcrError {
@@ -221,11 +222,13 @@ pub fn parse_args(args: &[String]) -> Result<Options, GcrError> {
                 )
             }
             "--exec" => {
-                o.exec = Some(match value(&mut it, "--exec")?.as_str() {
-                    "interp" => ExecEngine::Interp,
-                    "compiled" => ExecEngine::Compiled,
-                    other => return Err(usage_err(format!("unknown engine `{other}`\n{USAGE}"))),
-                });
+                let name = value(&mut it, "--exec")?;
+                o.exec = Some(ExecEngine::parse(&name).ok_or_else(|| {
+                    usage_err(format!(
+                        "unknown engine `{name}`: valid engines are {}\n{USAGE}",
+                        ExecEngine::NAMES
+                    ))
+                })?);
             }
             "--strict" => o.strict = true,
             "--no-fallback" => o.fallback = false,
@@ -360,7 +363,10 @@ pub fn run_source_with_diagnostics(
         }
     }
     let fuel = o.fuel.unwrap_or(u64::MAX);
-    let engine = o.exec.unwrap_or_else(ExecEngine::from_env);
+    let engine = match o.exec {
+        Some(e) => e,
+        None => ExecEngine::from_env()?,
+    };
     if let Some(n) = o.simulate {
         let bind = binding_for(&prog, n);
         let layout = opt.layout(&bind);
@@ -552,6 +558,12 @@ impl<A: gcr_exec::TraceSink, B: gcr_exec::TraceSink> gcr_exec::TraceSink for Sin
     fn end_instance(&mut self, stmt: gcr_ir::StmtId) {
         self.a.end_instance(stmt);
         self.b.end_instance(stmt);
+    }
+
+    fn record_batch(&mut self, batch: &gcr_exec::TraceBatch<'_>) {
+        // Forward the batch whole so both sides keep their fast paths.
+        self.a.record_batch(batch);
+        self.b.record_batch(batch);
     }
 }
 
@@ -770,23 +782,31 @@ for i = 1, N {
         assert_eq!(o.exec, Some(ExecEngine::Interp));
         let o = parse_args(&args(&["x.loop", "--exec", "compiled"])).unwrap();
         assert_eq!(o.exec, Some(ExecEngine::Compiled));
+        let o = parse_args(&args(&["x.loop", "--exec", "vm"])).unwrap();
+        assert_eq!(o.exec, Some(ExecEngine::Vm));
         assert_eq!(parse_args(&args(&["x.loop"])).unwrap().exec, None);
-        assert!(parse_args(&args(&["x.loop", "--exec", "jit"])).is_err());
+        let err = parse_args(&args(&["x.loop", "--exec", "jit"])).unwrap_err();
+        assert!(
+            err.to_string().contains("interp|compiled|vm"),
+            "rejection must list valid engines: {err}"
+        );
         assert!(parse_args(&args(&["x.loop", "--exec"])).is_err());
     }
 
     #[test]
     fn engines_agree_on_simulation_output() {
-        let mut interp =
-            parse_args(&args(&["-", "--no-emit", "--simulate", "96", "--exec", "interp"])).unwrap();
-        interp.input = "mem".into();
-        let mut compiled =
-            parse_args(&args(&["-", "--no-emit", "--simulate", "96", "--exec", "compiled"]))
-                .unwrap();
-        compiled.input = "mem".into();
-        let a = run_source(SRC, &interp).unwrap();
-        let b = run_source(SRC, &compiled).unwrap();
+        let run_with = |engine: &str| {
+            let mut o =
+                parse_args(&args(&["-", "--no-emit", "--simulate", "96", "--exec", engine]))
+                    .unwrap();
+            o.input = "mem".into();
+            run_source(SRC, &o).unwrap()
+        };
+        let a = run_with("interp");
+        let b = run_with("compiled");
+        let c = run_with("vm");
         assert_eq!(a, b, "interp and compiled engines must report identical miss counts");
+        assert_eq!(a, c, "interp and vm engines must report identical miss counts");
     }
 
     #[test]

@@ -160,16 +160,19 @@ fn run_engine(
     Run { events: cap.0, stats: m.stats(), mem, outcome }
 }
 
-/// Oracle 1: the compiled tape engine must be observationally identical to
-/// the interpreter — same event stream (accesses *and* instance
-/// boundaries, in order), same statistics, bit-identical `f64` memory,
-/// and the same fuel-exhaustion behaviour — under several layouts.
+/// Oracle 1: the compiled tape engine *and* the register bytecode VM must
+/// each be observationally identical to the interpreter — same event
+/// stream (accesses *and* instance boundaries, in order), same statistics,
+/// bit-identical `f64` memory, and the same fuel-exhaustion behaviour —
+/// under several layouts. A three-way interp≡compiled≡vm check: both
+/// derived engines are differenced against the same reference runs.
 fn engine_diff(prog: &Program) -> Result<(), String> {
     let binding = ParamBinding::new(vec![12; prog.params.len()]);
     let layouts = [
         ("plain", DataLayout::column_major(prog, &binding, 0)),
         ("padded", DataLayout::column_major(prog, &binding, 64)),
     ];
+    let derived = [ExecEngine::Compiled, ExecEngine::Vm];
     for (label, layout) in &layouts {
         // The generated grammar stays inside the compiler's domain; a
         // fallback to the interpreter would silently void the comparison.
@@ -180,10 +183,12 @@ fn engine_diff(prog: &Program) -> Result<(), String> {
         }
         for steps in [1usize, 2] {
             let a = run_engine(prog, &binding, layout, ExecEngine::Interp, steps, FUEL);
-            let b = run_engine(prog, &binding, layout, ExecEngine::Compiled, steps, FUEL);
-            compare_runs(label, steps, &a, &b)?;
+            for engine in derived {
+                let b = run_engine(prog, &binding, layout, engine, steps, FUEL);
+                compare_runs(label, engine, steps, &a, &b)?;
+            }
         }
-        // Fuel parity: starve both engines with the fuel that lets the
+        // Fuel parity: starve all engines with the fuel that lets the
         // interpreter get roughly halfway, and require the identical
         // error and identical (prefix) event stream.
         let full = run_engine(prog, &binding, layout, ExecEngine::Interp, 1, FUEL);
@@ -191,36 +196,48 @@ fn engine_diff(prog: &Program) -> Result<(), String> {
         if spent > 2 {
             let short = spent / 2;
             let a = run_engine(prog, &binding, layout, ExecEngine::Interp, 1, short);
-            let b = run_engine(prog, &binding, layout, ExecEngine::Compiled, 1, short);
-            if a.outcome != b.outcome {
-                return Err(format!(
-                    "fuel {short} outcome diverged ({label}): interp {:?} vs compiled {:?}",
-                    a.outcome, b.outcome
-                ));
-            }
-            if a.events != b.events {
-                return Err(format!(
-                    "fuel {short} event prefix diverged ({label}): interp {} events, compiled {}",
-                    a.events.len(),
-                    b.events.len()
-                ));
+            for engine in derived {
+                let b = run_engine(prog, &binding, layout, engine, 1, short);
+                if a.outcome != b.outcome {
+                    return Err(format!(
+                        "fuel {short} outcome diverged ({label}): interp {:?} vs {} {:?}",
+                        a.outcome,
+                        engine.name(),
+                        b.outcome
+                    ));
+                }
+                if a.events != b.events {
+                    return Err(format!(
+                        "fuel {short} event prefix diverged ({label}): interp {} events, {} {}",
+                        a.events.len(),
+                        engine.name(),
+                        b.events.len()
+                    ));
+                }
             }
         }
     }
     Ok(())
 }
 
-fn compare_runs(label: &str, steps: usize, a: &Run, b: &Run) -> Result<(), String> {
+fn compare_runs(
+    label: &str,
+    engine: ExecEngine,
+    steps: usize,
+    a: &Run,
+    b: &Run,
+) -> Result<(), String> {
+    let name = engine.name();
     if a.outcome != b.outcome {
         return Err(format!(
-            "outcome diverged ({label}, steps={steps}): interp {:?} vs compiled {:?}",
+            "outcome diverged ({label}, steps={steps}): interp {:?} vs {name} {:?}",
             a.outcome, b.outcome
         ));
     }
     if a.events != b.events {
         let at = a.events.iter().zip(&b.events).position(|(x, y)| x != y);
         return Err(format!(
-            "event streams diverged ({label}, steps={steps}): lengths {} vs {}, first diff at {:?}: {:?} vs {:?}",
+            "event streams diverged ({label}, steps={steps}): interp {} events vs {name} {}, first diff at {:?}: {:?} vs {:?}",
             a.events.len(),
             b.events.len(),
             at,
@@ -230,7 +247,7 @@ fn compare_runs(label: &str, steps: usize, a: &Run, b: &Run) -> Result<(), Strin
     }
     if a.stats != b.stats {
         return Err(format!(
-            "stats diverged ({label}, steps={steps}): interp {:?} vs compiled {:?}",
+            "stats diverged ({label}, steps={steps}): interp {:?} vs {name} {:?}",
             a.stats, b.stats
         ));
     }
@@ -238,7 +255,7 @@ fn compare_runs(label: &str, steps: usize, a: &Run, b: &Run) -> Result<(), Strin
         if ma != mb {
             let at = ma.iter().zip(mb).position(|(x, y)| x != y);
             return Err(format!(
-                "memory of array #{ai} diverged ({label}, steps={steps}) at element {at:?}"
+                "memory of array #{ai} diverged ({label}, {name}, steps={steps}) at element {at:?}"
             ));
         }
     }
@@ -643,22 +660,25 @@ fn static_parity(prog: &Program) -> Result<(), String> {
     let caps: Vec<u64> = vec![64, 256];
     let steps = 2;
     let spec = gcr_static::SweepSpec::new(line, caps.clone(), steps);
-    let analyzer =
-        match gcr_static::Analyzer::analyze_with(prog, spec, ExecEngine::from_env(), FUEL, |b| {
-            DataLayout::column_major(prog, b, 0)
-        }) {
-            Ok(a) => a,
-            Err(gcr_static::StaticError::NotAnalyzable { reason }) => {
-                if gcr_static::has_guards(prog) {
-                    return Ok(()); // documented refusal on guarded control flow
-                }
-                return Err(format!("guard-free program refused by the model: {reason}"));
+    let analyzer = match gcr_static::Analyzer::analyze_with(
+        prog,
+        spec,
+        ExecEngine::from_env().unwrap_or_default(),
+        FUEL,
+        |b| DataLayout::column_major(prog, b, 0),
+    ) {
+        Ok(a) => a,
+        Err(gcr_static::StaticError::NotAnalyzable { reason }) => {
+            if gcr_static::has_guards(prog) {
+                return Ok(()); // documented refusal on guarded control flow
             }
-            Err(gcr_static::StaticError::Gcr(gcr_ir::GcrError::BudgetExceeded { .. })) => {
-                return Ok(()); // probe too expensive at this fuel: out of scope
-            }
-            Err(gcr_static::StaticError::Gcr(e)) => return Err(format!("probe run failed: {e}")),
-        };
+            return Err(format!("guard-free program refused by the model: {reason}"));
+        }
+        Err(gcr_static::StaticError::Gcr(gcr_ir::GcrError::BudgetExceeded { .. })) => {
+            return Ok(()); // probe too expensive at this fuel: out of scope
+        }
+        Err(gcr_static::StaticError::Gcr(e)) => return Err(format!("probe run failed: {e}")),
+    };
     let model = analyzer.model();
     // Two sizes the fit never touched: just past the regime floor and a
     // different residue class farther out.

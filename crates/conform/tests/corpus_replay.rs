@@ -1,7 +1,7 @@
 //! Replays every committed corpus program through the conformance oracles.
 //!
-//! Run under both engines: `GCR_EXEC=interp cargo test -p gcr-conform` and
-//! `GCR_EXEC=compiled cargo test -p gcr-conform`.
+//! Run under every engine: `GCR_EXEC=interp cargo test -p gcr-conform`,
+//! `GCR_EXEC=compiled …`, and `GCR_EXEC=vm …`.
 
 use gcr_conform::corpus::{corpus_files, replay};
 
@@ -27,12 +27,12 @@ fn corpus_replays_clean() {
     assert!(bad.is_empty(), "corpus replay failures:\n{}", bad.join("\n"));
 }
 
-/// Static≡simulated parity across the whole corpus under *both* execution
-/// engines, explicitly — independent of whatever `GCR_EXEC` selects for
+/// Static≡simulated parity across the whole corpus under *every* execution
+/// engine, explicitly — independent of whatever `GCR_EXEC` selects for
 /// the rest of the suite. Exact-class models must match the simulator
 /// byte-for-byte; bounded ones within their own documented tolerance.
 #[test]
-fn corpus_static_parity_under_both_engines() {
+fn corpus_static_parity_under_all_engines() {
     use gcr_exec::{DataLayout, ExecEngine, Machine};
     use gcr_ir::ParamBinding;
 
@@ -46,7 +46,7 @@ fn corpus_static_parity_under_both_engines() {
         if prog.params.len() > 1 {
             continue; // outside the univariate model's domain
         }
-        for engine in [ExecEngine::Interp, ExecEngine::Compiled] {
+        for engine in [ExecEngine::Interp, ExecEngine::Compiled, ExecEngine::Vm] {
             let spec = gcr_static::SweepSpec::new(line, caps.clone(), steps);
             let analyzer =
                 match gcr_static::Analyzer::analyze_with(&prog, spec, engine, fuel, |b| {

@@ -31,6 +31,85 @@ pub struct AccessEvent {
     pub is_write: bool,
 }
 
+/// One event position within a strip iteration: the event's static fields
+/// plus its affine address walk. Slot `s` of iteration `k` is the event
+/// `AccessEvent { addr: addr + k * stride, .. }` — every address in a strip
+/// is an affine function of the iteration, which is exactly what makes the
+/// strip batchable in the first place.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchSlot {
+    /// Byte address at the strip's first iteration.
+    pub addr: u64,
+    /// Per-iteration byte advance (may be zero or negative).
+    pub stride: i64,
+    /// Array accessed.
+    pub array: ArrayId,
+    /// Static reference id.
+    pub ref_id: RefId,
+    /// Static statement id.
+    pub stmt: StmtId,
+    /// True for stores (and the store half of reductions).
+    pub is_write: bool,
+}
+
+impl BatchSlot {
+    /// Byte address of this slot at strip iteration `k`.
+    #[inline(always)]
+    pub fn addr_at(&self, k: i64) -> u64 {
+        (self.addr as i64 + k * self.stride) as u64
+    }
+
+    /// The full event of this slot at strip iteration `k`.
+    #[inline(always)]
+    pub fn event_at(&self, k: i64) -> AccessEvent {
+        AccessEvent {
+            addr: self.addr_at(k),
+            array: self.array,
+            ref_id: self.ref_id,
+            stmt: self.stmt,
+            is_write: self.is_write,
+        }
+    }
+}
+
+/// A whole iteration strip of trace events, in compressed affine form: the
+/// VM engine proves every event address of a flat segment affine in the
+/// loop variable, so a strip of `iters` iterations is fully described by
+/// one [`BatchSlot`] per event position — no per-event materialization at
+/// all on the producer side.
+///
+/// The exact per-event stream is iteration-major: for `k` in `0..iters`,
+/// slot `0..slots.len()` in order, with `end_instance(stmt)` fired after
+/// the first `end` slots of each iteration, then after the next boundary,
+/// and so on (`ends` offsets are within-iteration and ascending; every
+/// iteration has the same boundary structure). Replaying that order
+/// reproduces what the per-event engines deliver call by call — the
+/// default [`TraceSink::record_batch`] does exactly this, and the
+/// differential suites hold batched runs to it bit-for-bit.
+pub struct TraceBatch<'a> {
+    /// Event positions of one iteration, in emission order.
+    pub slots: &'a [BatchSlot],
+    /// Instance boundaries within each iteration: `(end, stmt)` means the
+    /// instance of `stmt` ends after the iteration's first `end` events.
+    pub ends: &'a [(u32, StmtId)],
+    /// Number of iterations in the strip.
+    pub iters: u32,
+}
+
+impl TraceBatch<'_> {
+    /// Total number of access events the batch encodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len() * self.iters as usize
+    }
+
+    /// True when the batch encodes no events.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Consumer of the access stream.
 pub trait TraceSink {
     /// Called for every traced access, in execution order. Events are
@@ -42,6 +121,28 @@ pub trait TraceSink {
     /// write have been reported). Used by the reuse-driven execution study
     /// to delimit instruction instances.
     fn end_instance(&mut self, _stmt: StmtId) {}
+
+    /// Delivers a whole strip of events at once (the VM engine's batched
+    /// path). The default expands the affine batch through
+    /// [`TraceSink::access`] and [`TraceSink::end_instance`] in exact
+    /// stream order, so every sink is correct unmodified; hot sinks
+    /// override this to turn millions of virtual calls into one tight
+    /// address-expansion loop over their own state.
+    fn record_batch(&mut self, batch: &TraceBatch<'_>) {
+        for k in 0..batch.iters as i64 {
+            let mut pos = 0usize;
+            for &(end, stmt) in batch.ends {
+                for sl in &batch.slots[pos..end as usize] {
+                    self.access(sl.event_at(k));
+                }
+                pos = end as usize;
+                self.end_instance(stmt);
+            }
+            for sl in &batch.slots[pos..] {
+                self.access(sl.event_at(k));
+            }
+        }
+    }
 }
 
 /// Sink that ignores everything (pure execution).
@@ -51,6 +152,9 @@ pub struct NullSink;
 impl TraceSink for NullSink {
     #[inline]
     fn access(&mut self, _ev: AccessEvent) {}
+
+    #[inline]
+    fn record_batch(&mut self, _batch: &TraceBatch<'_>) {}
 }
 
 /// Sink that counts reads and writes.
@@ -70,6 +174,12 @@ impl TraceSink for CountingSink {
         } else {
             self.reads += 1;
         }
+    }
+
+    fn record_batch(&mut self, batch: &TraceBatch<'_>) {
+        let w = batch.slots.iter().filter(|sl| sl.is_write).count() as u64;
+        self.writes += w * batch.iters as u64;
+        self.reads += (batch.slots.len() as u64 - w) * batch.iters as u64;
     }
 }
 
@@ -109,31 +219,66 @@ pub struct ExecEstimate {
 
 /// Which execution engine a [`Machine`] runs.
 ///
-/// Both engines are observationally identical — same access-event stream,
-/// bit-identical `f64` memory image, same statistics and fuel accounting —
-/// which the differential test suite enforces. The interpreter is the
-/// reference semantics; the compiled tape is the fast path for cold
-/// measurement runs.
+/// All three engines are observationally identical — same access-event
+/// stream, bit-identical `f64` memory image, same statistics and fuel
+/// accounting — which the differential test suite and the three-way
+/// conformance oracle enforce. The interpreter is the reference semantics;
+/// the compiled tape lowers dispatch per operation; the register VM lowers
+/// it further to one dispatch per iteration strip.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ExecEngine {
     /// The tree-walking interpreter (reference semantics).
     Interp,
     /// The compiled tape of [`mod@crate::compile`]: flat instruction stream,
     /// affine address walkers, guard-resolved iteration segments.
-    #[default]
     Compiled,
+    /// The register bytecode VM of [`mod@crate::vm`]: superinstructions
+    /// selected over the compiled tape plus vectorized strip execution with
+    /// batched event emission. Shares the tape's compilation domain; the
+    /// default for all measurement runs.
+    #[default]
+    Vm,
 }
 
 impl ExecEngine {
-    /// Engine selected by the `GCR_EXEC` environment variable: `interp`
-    /// forces the tree walker, anything else (including unset) selects the
-    /// compiled engine — the default for all sweeps. Tests should pass the
-    /// engine explicitly via [`Machine::with_engine`] instead; environment
-    /// variables are racy to set from a multi-threaded test harness.
-    pub fn from_env() -> Self {
+    /// The accepted engine names, for error messages.
+    pub const NAMES: &'static str = "interp|compiled|vm";
+
+    /// Parses an engine name as accepted by `GCR_EXEC` and `--exec`.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "interp" => Some(ExecEngine::Interp),
+            "compiled" => Some(ExecEngine::Compiled),
+            "vm" => Some(ExecEngine::Vm),
+            _ => None,
+        }
+    }
+
+    /// Short name of this engine (the inverse of [`ExecEngine::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecEngine::Interp => "interp",
+            ExecEngine::Compiled => "compiled",
+            ExecEngine::Vm => "vm",
+        }
+    }
+
+    /// Engine selected by the `GCR_EXEC` environment variable. Unset picks
+    /// the default ([`ExecEngine::Vm`]); a recognized name selects that
+    /// engine; anything else is a usage error — entry points surface it
+    /// instead of silently falling back to the default. Tests should pass
+    /// the engine explicitly via [`Machine::with_engine`] instead;
+    /// environment variables are racy to set from a multi-threaded test
+    /// harness.
+    pub fn from_env() -> Result<Self, GcrError> {
         match std::env::var("GCR_EXEC") {
-            Ok(v) if v == "interp" => ExecEngine::Interp,
-            _ => ExecEngine::Compiled,
+            Err(_) => Ok(ExecEngine::default()),
+            Ok(v) => ExecEngine::parse(&v).ok_or_else(|| {
+                GcrError::Usage(format!(
+                    "unknown execution engine `{v}` in GCR_EXEC: valid engines are {}",
+                    ExecEngine::NAMES
+                ))
+            }),
         }
     }
 }
@@ -153,6 +298,10 @@ pub struct Machine<'p> {
     /// Lazily compiled tape: `None` until first needed, `Some(None)` when
     /// the program is outside the compiler's domain (interpreter fallback).
     compiled: Option<Option<crate::tape::CompiledProgram>>,
+    /// Lazily built VM plan over the compiled tape, same `Option` protocol.
+    /// The VM's lowering is total over compiled programs, so this is
+    /// `Some(None)` exactly when `compiled` is.
+    vm: Option<Option<crate::vm::VmPlan>>,
 }
 
 impl<'p> Machine<'p> {
@@ -199,8 +348,13 @@ impl<'p> Machine<'p> {
             vars: vec![0; prog.vars.len()],
             op_counts,
             stats: ExecStats::default(),
-            engine: ExecEngine::from_env(),
+            // Construction stays infallible: entry points (CLI, bench and
+            // serve binaries) validate `GCR_EXEC` up front and report the
+            // usage error; by the time a machine is built here an invalid
+            // value has already been rejected.
+            engine: ExecEngine::from_env().unwrap_or_default(),
             compiled: None,
+            vm: None,
         };
         m.init_memory();
         m
@@ -225,8 +379,10 @@ impl<'p> Machine<'p> {
     }
 
     /// True when this machine's program compiled to the tape engine (after
-    /// forcing compilation). A `false` under [`ExecEngine::Compiled`]
-    /// means runs silently use the interpreter fallback.
+    /// forcing compilation). The VM shares the tape's domain exactly — its
+    /// lowering is total over compiled programs — so this answers for both
+    /// fast engines. A `false` under [`ExecEngine::Compiled`] or
+    /// [`ExecEngine::Vm`] means runs silently use the interpreter fallback.
     pub fn compiles(&mut self) -> bool {
         self.ensure_compiled();
         matches!(self.compiled, Some(Some(_)))
@@ -235,6 +391,13 @@ impl<'p> Machine<'p> {
     fn ensure_compiled(&mut self) {
         if self.compiled.is_none() {
             self.compiled = Some(crate::compile::compile(self.prog, &self.binding, &self.layout));
+        }
+    }
+
+    fn ensure_vm(&mut self) {
+        self.ensure_compiled();
+        if self.vm.is_none() {
+            self.vm = Some(self.compiled.as_ref().unwrap().as_ref().map(crate::vm::VmPlan::build));
         }
     }
 
@@ -306,13 +469,40 @@ impl<'p> Machine<'p> {
         steps: usize,
         fuel: u64,
     ) -> Result<(), GcrError> {
-        if self.engine == ExecEngine::Compiled {
-            self.ensure_compiled();
-            if let Some(Some(cp)) = self.compiled.as_ref() {
-                return cp.run(&mut self.mem, &mut self.vars, &mut self.stats, sink, steps, fuel);
+        match self.engine {
+            ExecEngine::Vm => {
+                self.ensure_vm();
+                if let (Some(Some(cp)), Some(Some(plan))) =
+                    (self.compiled.as_ref(), self.vm.as_ref())
+                {
+                    return crate::vm::run(
+                        cp,
+                        plan,
+                        &mut self.mem,
+                        &mut self.vars,
+                        &mut self.stats,
+                        sink,
+                        steps,
+                        fuel,
+                    );
+                }
+                // Outside the compiler's domain: fall through to the
+                // reference interpreter, which is total.
             }
-            // Outside the compiler's domain: fall through to the reference
-            // interpreter, which is total.
+            ExecEngine::Compiled => {
+                self.ensure_compiled();
+                if let Some(Some(cp)) = self.compiled.as_ref() {
+                    return cp.run(
+                        &mut self.mem,
+                        &mut self.vars,
+                        &mut self.stats,
+                        sink,
+                        steps,
+                        fuel,
+                    );
+                }
+            }
+            ExecEngine::Interp => {}
         }
         // Split borrows: body is part of prog (shared), the rest is mutable.
         let body = &self.prog.body;
@@ -700,6 +890,17 @@ mod tests {
         let l = b.for_(i, LinExpr::konst(2), LinExpr::param(n), vec![s]);
         b.push(l);
         b.finish()
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        for engine in [ExecEngine::Interp, ExecEngine::Compiled, ExecEngine::Vm] {
+            assert_eq!(ExecEngine::parse(engine.name()), Some(engine));
+            assert!(ExecEngine::NAMES.contains(engine.name()));
+        }
+        assert_eq!(ExecEngine::parse("jit"), None);
+        assert_eq!(ExecEngine::parse(""), None);
+        assert_eq!(ExecEngine::default(), ExecEngine::Vm);
     }
 
     #[test]

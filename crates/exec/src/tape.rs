@@ -132,18 +132,19 @@ pub(crate) struct EvMeta {
 
 /// Per-walker run-time state: the current byte address packed next to the
 /// event metadata, so one bounds check and one cache line serve both.
+/// Shared with the VM engine, whose walker semantics are identical.
 #[derive(Clone, Copy)]
-struct WState {
-    cur: i64,
-    array: ArrayId,
-    ref_id: RefId,
+pub(crate) struct WState {
+    pub(crate) cur: i64,
+    pub(crate) array: ArrayId,
+    pub(crate) ref_id: RefId,
 }
 
 /// Register-file size. Expression depth is bounded by this at compile
 /// time; the executor masks indices with `REG_MASK`, which removes every
 /// register bounds check without changing any in-domain behaviour.
 pub(crate) const MAX_REGS: usize = 32;
-const REG_MASK: usize = MAX_REGS - 1;
+pub(crate) const REG_MASK: usize = MAX_REGS - 1;
 
 /// One compiled assignment statement.
 #[derive(Clone, Copy, Debug)]
@@ -289,24 +290,7 @@ impl CompiledProgram {
         steps: usize,
         fuel: u64,
     ) -> Result<(), GcrError> {
-        let mut ex = Exec {
-            cp: self,
-            mem,
-            vars,
-            regs: [0.0; MAX_REGS],
-            wk: self
-                .walkers
-                .iter()
-                .zip(&self.ev)
-                .map(|(_, m)| WState { cur: 0, array: m.array, ref_id: m.ref_id })
-                .collect(),
-            instances: 0,
-            flops: 0,
-            reads: 0,
-            writes: 0,
-            fuel,
-            fuel_limit: fuel,
-        };
+        let mut ex = Exec::new(self, mem, vars, fuel);
         let mut result = Ok(());
         for _ in 0..steps {
             ex.prime(self.top_prime);
@@ -315,35 +299,65 @@ impl CompiledProgram {
                 break;
             }
         }
-        // Counters live in registers during the run; flush them even on a
-        // fuel error so partial-run statistics match the interpreter's.
-        stats.instances += ex.instances;
-        stats.flops += ex.flops;
-        stats.reads += ex.reads;
-        stats.writes += ex.writes;
+        ex.flush_stats(stats);
         result
     }
 }
 
 /// Run-time state of one compiled execution. Statistics are owned
 /// counters, flushed to the machine's [`ExecStats`] when the run ends.
-struct Exec<'a> {
-    cp: &'a CompiledProgram,
-    mem: &'a mut [f64],
-    vars: &'a mut [i64],
+/// Shared with the VM engine ([`crate::vm`]), whose executor wraps this
+/// state and reuses the op interpreter, the walkers, and the fuel
+/// accounting.
+pub(crate) struct Exec<'a> {
+    pub(crate) cp: &'a CompiledProgram,
+    pub(crate) mem: &'a mut [f64],
+    pub(crate) vars: &'a mut [i64],
     /// Register file (expression scratch).
-    regs: [f64; MAX_REGS],
+    pub(crate) regs: [f64; MAX_REGS],
     /// Per-walker state: current byte address plus event metadata.
-    wk: Vec<WState>,
-    instances: u64,
-    flops: u64,
-    reads: u64,
-    writes: u64,
-    fuel: u64,
-    fuel_limit: u64,
+    pub(crate) wk: Vec<WState>,
+    pub(crate) instances: u64,
+    pub(crate) flops: u64,
+    pub(crate) reads: u64,
+    pub(crate) writes: u64,
+    pub(crate) fuel: u64,
+    pub(crate) fuel_limit: u64,
 }
 
-impl Exec<'_> {
+impl<'a> Exec<'a> {
+    /// Fresh execution state over a compiled program.
+    pub(crate) fn new(
+        cp: &'a CompiledProgram,
+        mem: &'a mut [f64],
+        vars: &'a mut [i64],
+        fuel: u64,
+    ) -> Self {
+        Exec {
+            cp,
+            mem,
+            vars,
+            regs: [0.0; MAX_REGS],
+            wk: cp.ev.iter().map(|m| WState { cur: 0, array: m.array, ref_id: m.ref_id }).collect(),
+            instances: 0,
+            flops: 0,
+            reads: 0,
+            writes: 0,
+            fuel,
+            fuel_limit: fuel,
+        }
+    }
+
+    /// Flushes the owned counters into `stats`. Counters live in registers
+    /// during the run; flush even on a fuel error so partial-run statistics
+    /// match the interpreter's.
+    pub(crate) fn flush_stats(&self, stats: &mut ExecStats) {
+        stats.instances += self.instances;
+        stats.flops += self.flops;
+        stats.reads += self.reads;
+        stats.writes += self.writes;
+    }
+
     #[inline]
     fn out_of_fuel(&self) -> GcrError {
         GcrError::BudgetExceeded { resource: Resource::InterpreterFuel, limit: self.fuel_limit }
@@ -351,7 +365,7 @@ impl Exec<'_> {
 
     /// Spends one fuel unit (same accounting as the interpreter).
     #[inline]
-    fn spend(&mut self) -> Result<(), GcrError> {
+    pub(crate) fn spend(&mut self) -> Result<(), GcrError> {
         if self.fuel == 0 {
             return Err(self.out_of_fuel());
         }
@@ -363,7 +377,7 @@ impl Exec<'_> {
     /// Observably identical to `n` single spends: no events separate them,
     /// and exhaustion anywhere inside the run produces the same error.
     #[inline]
-    fn spend_bulk(&mut self, n: u64) -> Result<(), GcrError> {
+    pub(crate) fn spend_bulk(&mut self, n: u64) -> Result<(), GcrError> {
         if self.fuel < n {
             return Err(self.out_of_fuel());
         }
@@ -372,7 +386,7 @@ impl Exec<'_> {
     }
 
     /// Re-bases a range of walkers from the current loop variables.
-    fn prime(&mut self, range: (u32, u32)) {
+    pub(crate) fn prime(&mut self, range: (u32, u32)) {
         let cp = self.cp;
         for &w in &cp.prime_list[range.0 as usize..range.1 as usize] {
             let info = &cp.walkers[w as usize];
@@ -435,7 +449,7 @@ impl Exec<'_> {
                     let advance = &cp.advance_list[seg.advance.0 as usize..seg.advance.1 as usize];
                     for t in seg.lo..=seg.hi {
                         self.vars[l.var as usize] = t;
-                        self.exec_ops::<false, S>(fr, sink);
+                        self.exec_ops::<false, true, S>(fr, sink);
                         for &(w, stride) in advance {
                             self.wk[w as usize].cur += stride;
                         }
@@ -465,11 +479,13 @@ impl Exec<'_> {
         Ok(())
     }
 
-    /// Emits the event for a traced read through walker `w` and returns
-    /// the value. `COUNT` selects per-access statistics (the exact path);
-    /// the flat path accounts statistics in bulk per segment.
+    /// Reads through walker `w` and returns the value. `COUNT` selects
+    /// per-access statistics (the exact path); the flat path accounts
+    /// statistics in bulk per segment. `EMIT` selects event emission —
+    /// false on the VM's strip-compute pass, whose events are emitted
+    /// separately in batches.
     #[inline(always)]
-    fn traced_read<const COUNT: bool, S: TraceSink>(
+    pub(crate) fn traced_read<const COUNT: bool, const EMIT: bool, S: TraceSink>(
         &mut self,
         w: u32,
         stmt: StmtId,
@@ -479,20 +495,26 @@ impl Exec<'_> {
         if COUNT {
             self.reads += 1;
         }
-        sink.access(AccessEvent {
-            addr: st.cur as u64,
-            array: st.array,
-            ref_id: st.ref_id,
-            stmt,
-            is_write: false,
-        });
+        if EMIT {
+            sink.access(AccessEvent {
+                addr: st.cur as u64,
+                array: st.array,
+                ref_id: st.ref_id,
+                stmt,
+                is_write: false,
+            });
+        }
         self.mem[st.cur as usize / ELEM_BYTES]
     }
 
     /// Runs one op range. Infallible: fuel is spent by the callers
     /// (per-instance on the exact path, in bulk on the flat path).
     #[inline(always)]
-    fn exec_ops<const COUNT: bool, S: TraceSink>(&mut self, range: (u32, u32), sink: &mut S) {
+    pub(crate) fn exec_ops<const COUNT: bool, const EMIT: bool, S: TraceSink>(
+        &mut self,
+        range: (u32, u32),
+        sink: &mut S,
+    ) {
         let cp = self.cp;
         for op in &cp.ops[range.0 as usize..range.1 as usize] {
             match *op {
@@ -501,7 +523,8 @@ impl Exec<'_> {
                     self.regs[d as usize & REG_MASK] = (self.vars[slot as usize] + offset) as f64;
                 }
                 Op::Read { d, w, stmt } => {
-                    self.regs[d as usize & REG_MASK] = self.traced_read::<COUNT, S>(w, stmt, sink);
+                    self.regs[d as usize & REG_MASK] =
+                        self.traced_read::<COUNT, EMIT, S>(w, stmt, sink);
                 }
                 Op::ReadScalar { d, w } => {
                     self.regs[d as usize & REG_MASK] =
@@ -547,20 +570,23 @@ impl Exec<'_> {
                         scale * self.regs[d as usize & REG_MASK] + bias;
                 }
                 Op::ReadAdd { d, w, stmt } => {
-                    self.regs[d as usize & REG_MASK] += self.traced_read::<COUNT, S>(w, stmt, sink);
+                    self.regs[d as usize & REG_MASK] +=
+                        self.traced_read::<COUNT, EMIT, S>(w, stmt, sink);
                 }
                 Op::ReadSub { d, w, stmt } => {
-                    self.regs[d as usize & REG_MASK] -= self.traced_read::<COUNT, S>(w, stmt, sink);
+                    self.regs[d as usize & REG_MASK] -=
+                        self.traced_read::<COUNT, EMIT, S>(w, stmt, sink);
                 }
                 Op::ReadMul { d, w, stmt } => {
-                    self.regs[d as usize & REG_MASK] *= self.traced_read::<COUNT, S>(w, stmt, sink);
+                    self.regs[d as usize & REG_MASK] *=
+                        self.traced_read::<COUNT, EMIT, S>(w, stmt, sink);
                 }
                 Op::ReadMax { d, w, stmt } => {
-                    let v = self.traced_read::<COUNT, S>(w, stmt, sink);
+                    let v = self.traced_read::<COUNT, EMIT, S>(w, stmt, sink);
                     self.regs[d as usize & REG_MASK] = self.regs[d as usize & REG_MASK].max(v);
                 }
                 Op::ReadMin { d, w, stmt } => {
-                    let v = self.traced_read::<COUNT, S>(w, stmt, sink);
+                    let v = self.traced_read::<COUNT, EMIT, S>(w, stmt, sink);
                     self.regs[d as usize & REG_MASK] = self.regs[d as usize & REG_MASK].min(v);
                 }
                 Op::ConstAdd { d, v } => self.regs[d as usize & REG_MASK] += v,
@@ -575,7 +601,7 @@ impl Exec<'_> {
                 }
                 Op::Store { si } => {
                     let s = cp.stmts[si as usize];
-                    self.store_tail::<COUNT, S>(s, sink);
+                    self.store_tail::<COUNT, EMIT, S>(s, sink);
                 }
             }
         }
@@ -583,9 +609,15 @@ impl Exec<'_> {
 
     /// The store sequence of one statement instance: reduce read, memory
     /// write, write event, `end_instance` — in the interpreter's exact
-    /// order. `COUNT` selects per-access statistics.
+    /// order. `COUNT` selects per-access statistics; `EMIT` selects event
+    /// and instance-boundary emission (false on the VM's strip-compute
+    /// pass, whose events and boundaries are emitted in batches).
     #[inline(always)]
-    fn store_tail<const COUNT: bool, S: TraceSink>(&mut self, s: CStmt, sink: &mut S) {
+    pub(crate) fn store_tail<const COUNT: bool, const EMIT: bool, S: TraceSink>(
+        &mut self,
+        s: CStmt,
+        sink: &mut S,
+    ) {
         let rhs = self.regs[0];
         let st = self.wk[s.walker as usize];
         let addr = st.cur;
@@ -599,13 +631,15 @@ impl Exec<'_> {
                     if COUNT {
                         self.reads += 1;
                     }
-                    sink.access(AccessEvent {
-                        addr: addr as u64,
-                        array: st.array,
-                        ref_id: st.ref_id,
-                        stmt: s.id,
-                        is_write: false,
-                    });
+                    if EMIT {
+                        sink.access(AccessEvent {
+                            addr: addr as u64,
+                            array: st.array,
+                            ref_id: st.ref_id,
+                            stmt: s.id,
+                            is_write: false,
+                        });
+                    }
                 }
                 let old = self.mem[elem];
                 match op {
@@ -620,26 +654,30 @@ impl Exec<'_> {
             if COUNT {
                 self.writes += 1;
             }
-            sink.access(AccessEvent {
-                addr: addr as u64,
-                array: st.array,
-                ref_id: st.ref_id,
-                stmt: s.id,
-                is_write: true,
-            });
+            if EMIT {
+                sink.access(AccessEvent {
+                    addr: addr as u64,
+                    array: st.array,
+                    ref_id: st.ref_id,
+                    stmt: s.id,
+                    is_write: true,
+                });
+            }
         }
         if COUNT {
             self.instances += 1;
             self.flops += u64::from(s.flops);
         }
-        sink.end_instance(s.id);
+        if EMIT {
+            sink.end_instance(s.id);
+        }
     }
 
     fn exec_stmt<S: TraceSink>(&mut self, si: u32, sink: &mut S) -> Result<(), GcrError> {
         self.spend()?;
         let s = self.cp.stmts[si as usize];
-        self.exec_ops::<true, S>(s.ops, sink);
-        self.store_tail::<true, S>(s, sink);
+        self.exec_ops::<true, true, S>(s.ops, sink);
+        self.store_tail::<true, true, S>(s, sink);
         Ok(())
     }
 }

@@ -1,9 +1,10 @@
-//! Differential oracle for the compiled execution engine: on random
+//! Differential oracle for the derived execution engines: on random
 //! programs, bindings, layouts (including regrouped-style interleaving),
-//! and guard/alignment shapes, the compiled tape must be observationally
-//! identical to the tree-walking interpreter — same sink-event sequence
-//! (accesses *and* instance boundaries, in order), same `ExecStats`,
-//! bit-identical memory images, and identical fuel-exhaustion behaviour.
+//! and guard/alignment shapes, the compiled tape *and* the register
+//! bytecode VM must each be observationally identical to the tree-walking
+//! interpreter — same sink-event sequence (accesses *and* instance
+//! boundaries, in order), same `ExecStats`, bit-identical memory images,
+//! and identical fuel-exhaustion behaviour.
 
 use gcr_exec::{AccessEvent, ArrayLayout, DataLayout, ExecEngine, ExecStats, Machine, TraceSink};
 use gcr_ir::{
@@ -229,7 +230,7 @@ fn run_engine(
 ) -> RunOut {
     let bind = ParamBinding::new(vec![n]);
     let mut m = Machine::with_layout(prog, bind.clone(), layout.clone()).with_engine(engine);
-    if engine == ExecEngine::Compiled {
+    if engine != ExecEngine::Interp {
         assert!(m.compiles(), "generated program must be in the compiler's domain");
     }
     let mut cap = Cap::default();
@@ -249,20 +250,23 @@ fn run_engine(
 
 fn check_equivalence(prog: &Program, layout: &DataLayout, n: i64, fuel: u64) {
     let interp = run_engine(prog, layout, n, ExecEngine::Interp, fuel);
-    let compiled = run_engine(prog, layout, n, ExecEngine::Compiled, fuel);
-    assert_eq!(interp.events, compiled.events, "event stream diverged");
-    assert_eq!(interp.stats, compiled.stats, "ExecStats diverged");
-    assert_eq!(interp.bits, compiled.bits, "memory image diverged (bitwise)");
-    assert_eq!(interp.checksum.to_bits(), compiled.checksum.to_bits(), "checksum diverged");
-    assert_eq!(interp.fueled, compiled.fueled, "fuel-exhaustion result diverged");
-    assert_eq!(interp.fueled_events, compiled.fueled_events, "fueled event stream diverged");
+    for engine in [ExecEngine::Compiled, ExecEngine::Vm] {
+        let name = engine.name();
+        let got = run_engine(prog, layout, n, engine, fuel);
+        assert_eq!(interp.events, got.events, "{name}: event stream diverged");
+        assert_eq!(interp.stats, got.stats, "{name}: ExecStats diverged");
+        assert_eq!(interp.bits, got.bits, "{name}: memory image diverged (bitwise)");
+        assert_eq!(interp.checksum.to_bits(), got.checksum.to_bits(), "{name}: checksum diverged");
+        assert_eq!(interp.fueled, got.fueled, "{name}: fuel-exhaustion result diverged");
+        assert_eq!(interp.fueled_events, got.fueled_events, "{name}: fueled event stream diverged");
+    }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Compiled and interpreted execution agree on every observable, for
-    /// every layout shape, with and without a fuel budget.
+    /// Compiled, VM, and interpreted execution agree on every observable,
+    /// for every layout shape, with and without a fuel budget.
     #[test]
     fn compiled_matches_interpreter(
         items in proptest::collection::vec(item_strategy(), 1..5),

@@ -364,6 +364,16 @@ impl gcr_exec::TraceSink for DistanceSink {
     fn access(&mut self, ev: gcr_exec::AccessEvent) {
         self.analyzer.access_ref(ev.addr, ev.ref_id);
     }
+
+    fn record_batch(&mut self, batch: &gcr_exec::TraceBatch<'_>) {
+        // Distances ignore instance boundaries: one tight affine
+        // expansion loop per strip, in exact stream order.
+        for k in 0..batch.iters as i64 {
+            for sl in batch.slots {
+                self.analyzer.access_ref(sl.addr_at(k), sl.ref_id);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -123,6 +123,21 @@ impl TraceSink for ProfileSink {
         let phase = self.phase_of.get(ev.stmt.index()).copied().unwrap_or(0);
         attribute(self.per_phase.get_mut(phase), d);
     }
+
+    fn record_batch(&mut self, batch: &gcr_exec::TraceBatch<'_>) {
+        // The profile is instance-boundary-blind; expanding the affine
+        // batch iteration-major keeps the reuse stack hot without
+        // per-event dispatch, and each slot's attribution targets are
+        // loop-invariant.
+        for k in 0..batch.iters as i64 {
+            for sl in batch.slots {
+                let d = self.analyzer.access_ref(sl.addr_at(k), sl.ref_id);
+                attribute(self.per_array.get_mut(sl.array.index()), d);
+                let phase = self.phase_of.get(sl.stmt.index()).copied().unwrap_or(0);
+                attribute(self.per_phase.get_mut(phase), d);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
