@@ -18,10 +18,13 @@
 
 pub mod adi;
 pub mod fft;
+pub mod gallery;
 pub mod sp;
 pub mod sweep3d;
 pub mod swim;
 pub mod tomcatv;
+
+pub use gallery::{gallery, gallery_kernel, GalleryKernel};
 
 use gcr_ir::{ParamBinding, Program};
 

@@ -141,6 +141,7 @@ fn plot(job: &PlotJob) -> (String, Report) {
             },
         }),
         simulation: None,
+        hierarchy: None,
         prediction: None,
     };
     (text, report)

@@ -78,6 +78,10 @@ fn main() {
     // number — the compiled time includes lowering the tape.
     let (exec_json, exec_identical) = exec_compare(scale);
 
+    // Set-associative capture overhead: the same job set through the
+    // batched `AssocSweepSink` vs the batched FA `CapacitySweepSink`.
+    let assoc_json = assoc_compare(scale);
+
     let speedup = serial_ns as f64 / parallel_ns.max(1) as f64;
     let memo_speedup = parallel_ns as f64 / warm_ns.max(1) as f64;
     println!(
@@ -113,6 +117,7 @@ fn main() {
             ]),
         ),
         ("exec", exec_json),
+        ("assoc", assoc_json),
     ]);
     match std::fs::write(&json_path, doc.render()) {
         Ok(()) => println!("benchmark written to {json_path}"),
@@ -272,6 +277,96 @@ fn exec_compare(scale: f64) -> (Json, bool) {
         ("identical", Json::Bool(identical)),
     ]);
     (json, identical)
+}
+
+/// Times the batched set-associative sweep sink against the batched FA
+/// capacity sweep on the Figure-3 job set, under the VM engine (the batch
+/// producer both sinks' `record_batch` fast paths are written for). Same
+/// capacities on both sides — 4-way geometries for the associative sink —
+/// so the ratio isolates the per-access cost of set indexing plus bounded
+/// LRU ways over the FA stack walk. The acceptance target is a ratio
+/// within 1.5x; a miss is reported, not fatal (wall clock on a loaded
+/// container is advisory). Reference counts must agree exactly — that part
+/// *is* fatal, since it would mean a sink dropped accesses.
+fn assoc_compare(scale: f64) -> Json {
+    const REPS: usize = 3;
+    const LINE: u64 = 64;
+    const CAPS: [u64; 3] = [32 << 10, 256 << 10, 2 << 20];
+    let sz = |s: i64| ((s as f64 * scale) as i64).max(8);
+    let mut jobs = Vec::new();
+    for n in [sz(50), sz(100)] {
+        jobs.push(ExecJob {
+            name: format!("ADI {n}x{n}"),
+            prog: gcr_apps::adi::program(),
+            size: n,
+        });
+    }
+    for n in [sz(14), sz(28)] {
+        jobs.push(ExecJob {
+            name: format!("SP {n}x{n}x{n}"),
+            prog: gcr_apps::sp::program(),
+            size: n,
+        });
+    }
+    let configs: Vec<gcr_cache::CacheConfig> = CAPS
+        .iter()
+        .map(|&size| gcr_cache::CacheConfig { size: size as usize, line: LINE as usize, assoc: 4 })
+        .collect();
+
+    let mut fa_ns = 0u64;
+    let mut sa_ns = 0u64;
+    for job in &jobs {
+        let bind = ParamBinding::new(vec![job.size]);
+        // Warm-up (untimed): faults pages, compiles the bytecode.
+        Machine::new(&job.prog, bind.clone()).with_engine(ExecEngine::Vm).run(&mut NullSink);
+        let mut fa_refs = 0u64;
+        let mut sa_refs = 0u64;
+        fa_ns += (0..REPS)
+            .map(|_| {
+                let mut sink = gcr_cache::CapacitySweepSink::new(LINE, &CAPS);
+                let mut m = Machine::new(&job.prog, bind.clone()).with_engine(ExecEngine::Vm);
+                let t = Instant::now();
+                m.run(&mut sink);
+                let ns = t.elapsed().as_nanos() as u64;
+                fa_refs = sink.refs();
+                ns
+            })
+            .min()
+            .unwrap();
+        sa_ns += (0..REPS)
+            .map(|_| {
+                let mut sink = gcr_cache::AssocSweepSink::new(&configs);
+                let mut m = Machine::new(&job.prog, bind.clone()).with_engine(ExecEngine::Vm);
+                let t = Instant::now();
+                m.run(&mut sink);
+                let ns = t.elapsed().as_nanos() as u64;
+                sa_refs = sink.refs();
+                ns
+            })
+            .min()
+            .unwrap();
+        assert_eq!(fa_refs, sa_refs, "{}: assoc sink dropped accesses", job.name);
+    }
+    let ratio = sa_ns as f64 / fa_ns.max(1) as f64;
+    println!(
+        "assoc capture on {} fig3 jobs (vm, batched): fa {:.3}s vs 4-way {:.3}s \
+         (ratio {ratio:.2}x)",
+        jobs.len(),
+        fa_ns as f64 / 1e9,
+        sa_ns as f64 / 1e9,
+    );
+    if ratio > 1.5 {
+        println!("note: assoc capture ratio {ratio:.2}x is above the 1.5x target");
+    }
+    Json::O(vec![
+        ("jobs", Json::U(jobs.len() as u64)),
+        ("line", Json::U(LINE)),
+        ("capacities", Json::A(CAPS.iter().map(|&c| Json::U(c)).collect())),
+        ("ways", Json::U(4)),
+        ("fa_capture_ns", Json::U(fa_ns)),
+        ("assoc_capture_ns", Json::U(sa_ns)),
+        ("ratio", Json::F(ratio)),
+    ])
 }
 
 /// FNV-1a over every field of the trace — instance structure included, so

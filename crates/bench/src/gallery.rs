@@ -1,0 +1,73 @@
+//! The workload-gallery harness: runs every `gcr_apps::gallery()` kernel
+//! through the realistic default hierarchy and packages each run as a
+//! `gcr-report/v1` [`Report`] with a `hierarchy` section.
+//!
+//! The gallery is the regression net for the realistic cache models: each
+//! kernel has a golden report under `tests/golden/gallery/` (blessed with
+//! `GCR_BLESS=1 cargo test -p gcr-bench --test gallery_golden`), so a
+//! change to the set-associative simulator, the multi-level model, the
+//! prefetcher, or any engine shows up as a reviewable golden diff across
+//! ~16 structurally distinct kernels at once.
+//!
+//! Runs use the VM engine explicitly — the fastest batch producer, and the
+//! one CI's `gallery-smoke` job pins — and fan out with
+//! [`gcr_par::scope_map_with`], which preserves input order, so the
+//! rendered [`ReportSet`] is byte-identical for any thread count.
+
+use gcr_apps::GalleryKernel;
+use gcr_cli::report::HierarchySection;
+use gcr_cli::{Report, ReportSet};
+use gcr_core::checked::{apply_strategy_checked_traced, SafetyOptions};
+use gcr_core::pipeline::Strategy;
+use gcr_core::Tracer;
+use gcr_exec::ExecEngine;
+use gcr_ir::GcrError;
+
+use crate::MEASURE_FUEL;
+
+/// The gallery's default hierarchy: a 4-way 8K L1 over a fully-associative
+/// 64K L2, 64-byte lines, inclusive, no prefetch. Small enough that the
+/// gallery sizes stress both levels, canonical under
+/// [`gcr_cache::HierarchySpec::describe`].
+pub const GALLERY_HIERARCHY: &str = "l1=8K/64/4,l2=64K/64/fa,policy=inclusive,prefetch=none";
+
+/// Optimizes one kernel (fail-safe pipeline, tracing on) and measures it
+/// through [`GALLERY_HIERARCHY`] under `engine`.
+pub fn kernel_report(kernel: &GalleryKernel, engine: ExecEngine) -> Result<Report, GcrError> {
+    let spec =
+        gcr_cache::HierarchySpec::parse(GALLERY_HIERARCHY).expect("GALLERY_HIERARCHY must parse");
+    let (prog, bind) = kernel.build();
+    let mut tracer = Tracer::enabled();
+    let opt = apply_strategy_checked_traced(
+        &prog,
+        Strategy::Original,
+        &SafetyOptions::default(),
+        &mut tracer,
+    )?;
+    let layout = opt.layout(&bind);
+    let run = gcr_cache::measure_hierarchy(
+        &opt.program,
+        bind,
+        layout,
+        engine,
+        kernel.steps,
+        MEASURE_FUEL,
+        &spec,
+    )?;
+    let mut report = Report::new("gallery", &prog, "original", &opt, tracer.into_events());
+    report.hierarchy =
+        Some(HierarchySection { size: kernel.default_size, steps: kernel.steps, run });
+    Ok(report)
+}
+
+/// Runs the whole gallery on `threads` workers (VM engine) and collects
+/// the reports, in gallery order, into a [`ReportSet`].
+pub fn run_gallery(threads: usize) -> Result<ReportSet, GcrError> {
+    let kernels = gcr_apps::gallery();
+    let results = gcr_par::scope_map_with(threads, &kernels, |k| kernel_report(k, ExecEngine::Vm));
+    let mut set = ReportSet::new("gallery", "realistic-hierarchy workload gallery");
+    for r in results {
+        set.reports.push(r?);
+    }
+    Ok(set)
+}

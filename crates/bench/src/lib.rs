@@ -7,6 +7,7 @@
 //! engine (worker-pool fan-out + content-keyed measurement memoization)
 //! those binaries run on.
 
+pub mod gallery;
 pub mod sweep;
 
 use gcr_apps::AppSpec;

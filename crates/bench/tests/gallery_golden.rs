@@ -1,0 +1,65 @@
+//! Golden `gcr-report/v1` files for the workload gallery, plus the
+//! thread-count determinism guarantee for the set-associative sweep.
+//!
+//! Every gallery kernel is measured through the default realistic
+//! hierarchy (see [`gcr_bench::gallery::GALLERY_HIERARCHY`]) under the VM
+//! engine; the normalized report — hierarchy section included, so
+//! per-level hit/miss/writeback counts, prefetch counts, memory traffic
+//! and the FA-vs-4-way sweep table are all pinned — is compared
+//! byte-for-byte against `tests/golden/gallery/<kernel>.json`.
+//!
+//! On intentional model or schema changes, regenerate with
+//! `GCR_BLESS=1 cargo test -p gcr-bench --test gallery_golden` and review
+//! the diff (EXPERIMENTS.md documents the hierarchy section's schema).
+
+use gcr_bench::gallery::run_gallery;
+
+fn golden_path(name: &str) -> String {
+    format!("{}/tests/golden/gallery/{name}.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn gallery_reports_match_goldens() {
+    let kernels = gcr_apps::gallery();
+    let set = run_gallery(2).unwrap();
+    assert_eq!(set.reports.len(), kernels.len());
+
+    let bless = std::env::var_os("GCR_BLESS").is_some();
+    if bless {
+        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/gallery"))
+            .unwrap();
+    }
+    let mut bad = Vec::new();
+    for (kernel, report) in kernels.iter().zip(set.reports) {
+        let json = report.normalized().to_json();
+        let path = golden_path(kernel.name);
+        if bless {
+            std::fs::write(&path, &json).unwrap();
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(want) if want == json => {}
+            Ok(_) => bad.push(format!("{}: drifted", kernel.name)),
+            Err(e) => bad.push(format!("{}: golden unreadable ({e})", kernel.name)),
+        }
+    }
+    assert!(
+        bad.is_empty(),
+        "gallery goldens drifted; if intentional, bless with GCR_BLESS=1 and \
+         review the diff:\n{}",
+        bad.join("\n")
+    );
+}
+
+/// The set-associative sweep must be deterministic in the worker count:
+/// the rendered report set — per-level counters, sweep bins, everything —
+/// is byte-identical for 1, 2 and 8 threads. `GCR_THREADS` is racy to set
+/// from tests, so thread counts are passed explicitly; the env override
+/// resolves to the same `scope_map_with` call.
+#[test]
+fn gallery_is_byte_identical_for_1_2_and_8_threads() {
+    let serial = run_gallery(1).unwrap().normalized().to_json();
+    for threads in [2usize, 8] {
+        let parallel = run_gallery(threads).unwrap().normalized().to_json();
+        assert_eq!(serial, parallel, "{threads}-thread gallery diverged from serial");
+    }
+}

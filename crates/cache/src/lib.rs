@@ -31,12 +31,21 @@
 //! the interpreter's address trace, and [`PhasedHierarchySink`] splits the
 //! same totals per computation phase for the JSON reports.
 
+pub mod assoc;
 pub mod cost;
 pub mod hierarchy;
+pub mod levels;
 pub mod multicap;
 pub mod sim;
+pub mod spec;
 
+pub use assoc::{AssocResult, AssocSweepSink};
 pub use cost::CostModel;
 pub use hierarchy::{HierarchySink, MemoryHierarchy, MissCounts, PhasedHierarchySink};
+pub use levels::{
+    Inclusion, LevelCounts, MultiLevelCache, MultiLevelCounts, MultiLevelSink, MultiLevelSweepSink,
+    Prefetch,
+};
 pub use multicap::{CapacitySweepSink, MultiHierarchySink};
-pub use sim::{Cache, CacheConfig, Tlb};
+pub use sim::{Cache, CacheConfig, Tlb, Victim};
+pub use spec::{measure_hierarchy, HierarchyRun, HierarchySpec, SweepBin};

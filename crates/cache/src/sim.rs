@@ -40,6 +40,10 @@ impl CacheConfig {
     }
 }
 
+/// An evicted line: `(line base address, dirty)`. `None` when the fill
+/// found a free way.
+pub type Victim = Option<(u64, bool)>;
+
 /// A set-associative write-back, write-allocate cache with true LRU
 /// replacement and dirty-line tracking (for memory-traffic accounting —
 /// the paper's subject is bandwidth, i.e. *data transferred*).
@@ -97,27 +101,124 @@ impl Cache {
     /// hit.
     #[inline]
     pub fn access_rw(&mut self, addr: u64, is_write: bool) -> bool {
+        self.access_evict(addr, is_write).0
+    }
+
+    /// Simulates one access, additionally reporting the line evicted to
+    /// make room (its base address and dirty bit). Multi-level models use
+    /// the victim to drive write-back propagation and back-invalidation;
+    /// plain callers use [`Cache::access_rw`]. Dirty victims still bump
+    /// [`Cache::writebacks`] exactly as before.
+    #[inline]
+    pub fn access_evict(&mut self, addr: u64, is_write: bool) -> (bool, Victim) {
         let block = addr >> self.line_shift;
-        let set = &mut self.sets[(block & self.set_mask) as usize];
+        let set_idx = (block & self.set_mask) as usize;
+        let set = &mut self.sets[set_idx];
         let tag = block >> self.set_mask.count_ones();
         if let Some(pos) = set.iter().position(|&(t, _)| t == tag) {
             // Move to MRU position.
             set[..=pos].rotate_right(1);
             set[0].1 |= is_write;
             self.hits += 1;
-            true
+            (true, None)
         } else {
+            let mut victim = None;
             if set.len() == self.cfg.assoc {
-                if let Some((_, dirty)) = set.pop() {
+                if let Some((vtag, dirty)) = set.pop() {
                     if dirty {
                         self.writebacks += 1;
                     }
+                    victim = Some((
+                        ((vtag << self.set_mask.count_ones()) | set_idx as u64) << self.line_shift,
+                        dirty,
+                    ));
                 }
             }
             set.insert(0, (tag, is_write));
             self.misses += 1;
-            false
+            (false, victim)
         }
+    }
+
+    /// True when the line holding `addr` is resident. Does not touch LRU
+    /// order or counters.
+    pub fn contains(&self, addr: u64) -> bool {
+        let block = addr >> self.line_shift;
+        let tag = block >> self.set_mask.count_ones();
+        self.sets[(block & self.set_mask) as usize].iter().any(|&(t, _)| t == tag)
+    }
+
+    /// Inserts the line holding `addr` at MRU position *without* counting
+    /// a demand hit or miss — the primitive behind prefetch fills and
+    /// exclusive-hierarchy line movement. A resident line is promoted and
+    /// its dirty bit OR-ed. Returns the evicted victim, if any; the caller
+    /// decides what traffic the victim represents (nothing is added to
+    /// [`Cache::writebacks`]).
+    pub fn fill(&mut self, addr: u64, dirty: bool) -> Victim {
+        let block = addr >> self.line_shift;
+        let set_idx = (block & self.set_mask) as usize;
+        let set = &mut self.sets[set_idx];
+        let tag = block >> self.set_mask.count_ones();
+        if let Some(pos) = set.iter().position(|&(t, _)| t == tag) {
+            set[..=pos].rotate_right(1);
+            set[0].1 |= dirty;
+            return None;
+        }
+        let mut victim = None;
+        if set.len() == self.cfg.assoc {
+            if let Some((vtag, vdirty)) = set.pop() {
+                victim = Some((
+                    ((vtag << self.set_mask.count_ones()) | set_idx as u64) << self.line_shift,
+                    vdirty,
+                ));
+            }
+        }
+        set.insert(0, (tag, dirty));
+        victim
+    }
+
+    /// Removes the line holding `addr` if resident, returning its dirty
+    /// bit. No counters are touched — extraction models exclusive-hierarchy
+    /// promotion and back-invalidation, not a demand access.
+    pub fn extract(&mut self, addr: u64) -> Option<bool> {
+        let block = addr >> self.line_shift;
+        let set = &mut self.sets[(block & self.set_mask) as usize];
+        let tag = block >> self.set_mask.count_ones();
+        let pos = set.iter().position(|&(t, _)| t == tag)?;
+        Some(set.remove(pos).1)
+    }
+
+    /// Marks the line holding `addr` dirty if resident (LRU order
+    /// unchanged). Returns `false` when the line is absent — inclusive
+    /// hierarchies use that to detect a write-back that must skip a level.
+    pub fn mark_dirty(&mut self, addr: u64) -> bool {
+        let block = addr >> self.line_shift;
+        let set = &mut self.sets[(block & self.set_mask) as usize];
+        let tag = block >> self.set_mask.count_ones();
+        match set.iter_mut().find(|(t, _)| *t == tag) {
+            Some(e) => {
+                e.1 = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops every resident line overlapping `[addr, addr + len)` —
+    /// back-invalidation when an enclosing line leaves a lower inclusive
+    /// level. Returns how many of the dropped lines were dirty (their
+    /// contents fold into the departing lower-level line).
+    pub fn invalidate_range(&mut self, addr: u64, len: u64) -> u64 {
+        let line = self.cfg.line as u64;
+        let first = addr >> self.line_shift;
+        let last = (addr + len.max(1) - 1) >> self.line_shift;
+        let mut dirty = 0;
+        for block in first..=last {
+            if let Some(true) = self.extract(block * line) {
+                dirty += 1;
+            }
+        }
+        dirty
     }
 
     /// Bytes transferred from the next level: fills plus write-backs.
@@ -307,6 +408,52 @@ mod tests {
         assert_eq!(c.misses, 64);
         // All but the 8 resident lines written back so far.
         assert_eq!(c.writebacks, 64 - 8);
+    }
+
+    #[test]
+    fn access_evict_reports_victim_address() {
+        // 2 sets, 1 way, 8-byte lines: 0 and 16 share set 0.
+        let mut c = Cache::new(CacheConfig { size: 16, line: 8, assoc: 1 });
+        assert_eq!(c.access_evict(0, true), (false, None));
+        let (hit, victim) = c.access_evict(16, false);
+        assert!(!hit);
+        assert_eq!(victim, Some((0, true)), "dirty line 0 evicted by 16");
+        assert_eq!(c.writebacks, 1, "access_evict keeps the write-back counter");
+    }
+
+    #[test]
+    fn fill_is_stat_neutral_and_promotes() {
+        let mut c = Cache::new(CacheConfig { size: 16, line: 8, assoc: 2 });
+        assert_eq!(c.fill(0, false), None);
+        assert_eq!(c.fill(8, false), None);
+        assert_eq!(c.fill(0, true), None, "resident: promote + dirty, no victim");
+        // 16 evicts the LRU line 8; line 0 stays (it was promoted).
+        assert_eq!(c.fill(16, false), Some((8, false)));
+        assert!(c.contains(0));
+        assert_eq!((c.hits, c.misses, c.writebacks), (0, 0, 0), "fill counts nothing");
+        assert_eq!(c.extract(0), Some(true), "dirty bit OR-ed by the resident fill");
+        assert_eq!(c.extract(0), None);
+    }
+
+    #[test]
+    fn invalidate_range_drops_enclosed_lines() {
+        let mut c = Cache::new(CacheConfig { size: 64, line: 8, assoc: 8 });
+        c.fill(0, true);
+        c.fill(8, false);
+        c.fill(16, true);
+        c.fill(32, true); // outside the invalidated 32-byte enclosing line
+        assert_eq!(c.invalidate_range(0, 32), 2, "two dirty lines in [0,32)");
+        assert!(!c.contains(0) && !c.contains(8) && !c.contains(16));
+        assert!(c.contains(32));
+    }
+
+    #[test]
+    fn mark_dirty_only_when_resident() {
+        let mut c = Cache::new(CacheConfig { size: 16, line: 8, assoc: 2 });
+        assert!(!c.mark_dirty(0));
+        c.fill(0, false);
+        assert!(c.mark_dirty(0));
+        assert_eq!(c.extract(0), Some(true));
     }
 
     #[test]

@@ -80,6 +80,9 @@ pub struct Options {
     /// Execution engine for `--simulate`, `--profile`, `--reuse-hist` and
     /// `--mrc` runs (`None` defers to `GCR_EXEC` / the compiled default).
     pub exec: Option<ExecEngine>,
+    /// Realistic hierarchy descriptor to measure (`--hierarchy`), e.g.
+    /// `l1=8K/32/4,l2=64K/128/fa,prefetch=next-line`.
+    pub hierarchy: Option<String>,
 }
 
 impl Default for Options {
@@ -106,6 +109,7 @@ impl Default for Options {
             fallback: true,
             fuel: None,
             exec: None,
+            hierarchy: None,
         }
     }
 }
@@ -135,6 +139,13 @@ options:
                      capacities 256B/1KB/4KB/16KB); N can be far beyond
                      what --simulate could ever execute
   --steps <K>        time steps for --simulate (default 1)
+  --hierarchy <desc> measure a realistic multi-level hierarchy at the
+                     --simulate size (or N=64): comma-separated
+                     l1=SIZE/LINE/ASSOC[,l2=...][,l3=...]
+                     [,policy=inclusive|exclusive]
+                     [,prefetch=none|next-line]; sizes take K/M suffixes,
+                     ASSOC is a way count or `fa`; adds FA + 4-way sweep
+                     bins and a hierarchy report section
   --cache-scale <a,b>  shrink L1/TLB by a and L2 by b during --simulate
   --reuse-hist <N>   print the reuse-distance histogram at size N
   --mrc <N>          print the predicted miss-ratio curve at size N
@@ -197,6 +208,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, GcrError> {
                     .parse()
                     .map_err(|e| usage_err(format!("bad --steps value: {e}")))?
             }
+            "--hierarchy" => o.hierarchy = Some(value(&mut it, "--hierarchy")?),
             "--cache-scale" => {
                 let v = value(&mut it, "--cache-scale")?;
                 let (a, b) = v
@@ -429,6 +441,20 @@ pub fn run_source_with_diagnostics(
         let _ = write!(out, "{}", section.to_text());
         if let Some(r) = rep.as_mut() {
             r.profile = Some(section);
+        }
+    }
+    if let Some(desc) = &o.hierarchy {
+        let spec = gcr_cache::HierarchySpec::parse(desc)
+            .map_err(|why| usage_err(format!("bad --hierarchy descriptor: {why}\n{USAGE}")))?;
+        let n = o.simulate.unwrap_or(64);
+        let bind = binding_for(&prog, n);
+        let layout = opt.layout(&bind);
+        let run =
+            gcr_cache::measure_hierarchy(&opt.program, bind, layout, engine, o.steps, fuel, &spec)?;
+        let section = report::HierarchySection { size: n, steps: o.steps, run };
+        out.push_str(&section.to_text());
+        if let Some(r) = rep.as_mut() {
+            r.hierarchy = Some(section);
         }
     }
     if let Some(n) = o.static_n {
@@ -791,6 +817,62 @@ for i = 1, N {
             "rejection must list valid engines: {err}"
         );
         assert!(parse_args(&args(&["x.loop", "--exec"])).is_err());
+    }
+
+    #[test]
+    fn hierarchy_flag_measures_and_reports() {
+        let mut o = parse_args(&args(&[
+            "-",
+            "--no-emit",
+            "--simulate",
+            "64",
+            "--hierarchy",
+            "l1=1K/32/4,l2=8K/128/fa,prefetch=next-line",
+            "--report",
+            "-",
+        ]))
+        .unwrap();
+        o.input = "mem".into();
+        let out = run_source(SRC, &o).unwrap();
+        assert!(
+            out.contains("hierarchy l1=1K/32/4,l2=8K/128/fa,policy=inclusive,prefetch=next-line"),
+            "{out}"
+        );
+        assert!(out.contains("\"hierarchy\""), "{out}");
+        assert!(out.contains("\"assoc_misses\""), "{out}");
+        assert!(out.contains("\"prefetches\""), "{out}");
+    }
+
+    #[test]
+    fn hierarchy_flag_rejects_bad_descriptors() {
+        let mut o = parse_args(&args(&["-", "--no-emit", "--hierarchy", "l1=8K/33/4"])).unwrap();
+        o.input = "mem".into();
+        let err = run_source(SRC, &o).unwrap_err();
+        assert!(matches!(err, GcrError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn engines_agree_on_hierarchy_output() {
+        let run_with = |engine: &str| {
+            let mut o = parse_args(&args(&[
+                "-",
+                "--no-emit",
+                "--simulate",
+                "96",
+                "--hierarchy",
+                "l1=512/32/2,l2=4K/32/fa,policy=exclusive",
+                "--exec",
+                engine,
+            ]))
+            .unwrap();
+            o.input = "mem".into();
+            run_source(SRC, &o).unwrap()
+        };
+        let a = run_with("interp");
+        let b = run_with("compiled");
+        let c = run_with("vm");
+        assert_eq!(a, b, "interp and compiled engines must report identical hierarchy counts");
+        assert_eq!(a, c, "interp and vm engines must report identical hierarchy counts");
     }
 
     #[test]

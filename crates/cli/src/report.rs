@@ -513,6 +513,60 @@ pub struct SimSection {
     pub phases: Vec<(String, MissCounts)>,
 }
 
+/// Realistic-hierarchy section: a `--hierarchy` descriptor measured by
+/// [`gcr_cache::measure_hierarchy`] — per-level demand counters plus
+/// fully-associative and 4-way set-associative sweep bins, all from one
+/// trace pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HierarchySection {
+    /// Size parameter.
+    pub size: i64,
+    /// Time steps executed.
+    pub steps: usize,
+    /// The measured hierarchy.
+    pub run: gcr_cache::HierarchyRun,
+}
+
+impl HierarchySection {
+    /// Plain-text rendering (the `gcrc --hierarchy` console format).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let r = &self.run;
+        let _ = writeln!(
+            out,
+            "hierarchy {} at N={} x{}: {} refs",
+            r.spec, self.size, self.steps, r.counts.refs
+        );
+        for (k, (cfg, c)) in r.configs.iter().zip(&r.counts.levels).enumerate() {
+            let _ = writeln!(
+                out,
+                "  L{} {}B/{}B/{}-way: {} hits, {} misses, {} writebacks",
+                k + 1,
+                cfg.size,
+                cfg.line,
+                cfg.assoc,
+                c.hits,
+                c.misses,
+                c.writebacks
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  memory: {} fills, {} writebacks, {} prefetches, traffic {} B",
+            r.counts.memory_fills,
+            r.counts.memory_writebacks,
+            r.counts.prefetches,
+            r.counts.memory_traffic
+        );
+        let _ = writeln!(out, "  sweep (line {}B): capacity fa-misses 4way-misses", r.line);
+        for b in &r.sweep {
+            let _ =
+                writeln!(out, "  {:>10} {:>10} {:>10}", b.capacity, b.fa_misses, b.assoc_misses);
+        }
+        out
+    }
+}
+
 /// One optimized-and-measured run, renderable as JSON, text or Markdown.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Report {
@@ -538,6 +592,8 @@ pub struct Report {
     pub profile: Option<ProfileSection>,
     /// Cache simulation, when measured.
     pub simulation: Option<SimSection>,
+    /// Realistic hierarchy measurement, when requested (`--hierarchy`).
+    pub hierarchy: Option<HierarchySection>,
     /// Static sweep prediction, when computed.
     pub prediction: Option<PredictionSection>,
 }
@@ -582,6 +638,7 @@ impl Report {
             fallbacks: fallbacks_of(&opt.robustness),
             profile: None,
             simulation: None,
+            hierarchy: None,
             prediction: None,
         }
     }
@@ -631,6 +688,7 @@ impl Report {
             ),
             ("profile", self.profile.as_ref().map_or(Json::Null, profile_json)),
             ("simulation", self.simulation.as_ref().map_or(Json::Null, sim_json)),
+            ("hierarchy", self.hierarchy.as_ref().map_or(Json::Null, hierarchy_json)),
             ("prediction", self.prediction.as_ref().map_or(Json::Null, prediction_json)),
         ])
     }
@@ -678,6 +736,9 @@ impl Report {
                     let _ = writeln!(out, "  phase {label:<18} {}", miss_line(c));
                 }
             }
+        }
+        if let Some(h) = &self.hierarchy {
+            out.push_str(&h.to_text());
         }
         if let Some(p) = &self.prediction {
             out.push_str(&p.to_text());
@@ -782,6 +843,42 @@ impl Report {
                     row(&mut out, &format!("phase `{label}`"), c);
                 }
             }
+        }
+        if let Some(h) = &self.hierarchy {
+            let r = &h.run;
+            let _ = writeln!(out, "### Hierarchy `{}` (N={}, {} steps)\n", r.spec, h.size, h.steps);
+            let _ =
+                writeln!(out, "| level | size B | line B | ways | hits | misses | writebacks |");
+            let _ =
+                writeln!(out, "|-------|--------|--------|------|------|--------|------------|");
+            for (k, (cfg, c)) in r.configs.iter().zip(&r.counts.levels).enumerate() {
+                let _ = writeln!(
+                    out,
+                    "| L{} | {} | {} | {} | {} | {} | {} |",
+                    k + 1,
+                    cfg.size,
+                    cfg.line,
+                    cfg.assoc,
+                    c.hits,
+                    c.misses,
+                    c.writebacks
+                );
+            }
+            let _ = writeln!(
+                out,
+                "\n{} refs; memory: {} fills, {} writebacks, {} prefetches, {} B traffic\n",
+                r.counts.refs,
+                r.counts.memory_fills,
+                r.counts.memory_writebacks,
+                r.counts.prefetches,
+                r.counts.memory_traffic
+            );
+            let _ = writeln!(out, "| capacity B | FA misses | 4-way misses |");
+            let _ = writeln!(out, "|------------|-----------|--------------|");
+            for b in &r.sweep {
+                let _ = writeln!(out, "| {} | {} | {} |", b.capacity, b.fa_misses, b.assoc_misses);
+            }
+            let _ = writeln!(out);
         }
         if let Some(p) = &self.prediction {
             let _ = writeln!(
@@ -936,6 +1033,55 @@ fn big_json(v: u128) -> Json {
         Ok(u) => Json::U(u),
         Err(_) => Json::F(v as f64),
     }
+}
+
+fn hierarchy_json(h: &HierarchySection) -> Json {
+    let r = &h.run;
+    Json::O(vec![
+        ("size", Json::I(h.size)),
+        ("steps", Json::U(h.steps as u64)),
+        ("spec", Json::S(r.spec.clone())),
+        ("line_bytes", Json::U(r.line)),
+        ("refs", Json::U(r.counts.refs)),
+        (
+            "levels",
+            Json::A(
+                r.configs
+                    .iter()
+                    .zip(&r.counts.levels)
+                    .map(|(cfg, c)| {
+                        Json::O(vec![
+                            ("size", Json::U(cfg.size as u64)),
+                            ("line", Json::U(cfg.line as u64)),
+                            ("assoc", Json::U(cfg.assoc as u64)),
+                            ("hits", Json::U(c.hits)),
+                            ("misses", Json::U(c.misses)),
+                            ("writebacks", Json::U(c.writebacks)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("prefetches", Json::U(r.counts.prefetches)),
+        ("memory_fills", Json::U(r.counts.memory_fills)),
+        ("memory_writebacks", Json::U(r.counts.memory_writebacks)),
+        ("memory_traffic", Json::U(r.counts.memory_traffic)),
+        (
+            "sweep",
+            Json::A(
+                r.sweep
+                    .iter()
+                    .map(|b| {
+                        Json::O(vec![
+                            ("capacity", Json::U(b.capacity)),
+                            ("fa_misses", Json::U(b.fa_misses)),
+                            ("assoc_misses", Json::U(b.assoc_misses)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn prediction_json(p: &PredictionSection) -> Json {

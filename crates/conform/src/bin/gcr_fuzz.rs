@@ -22,7 +22,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gcr-fuzz [--seed S] [--iters K] [--oracle {{all|engine|optimize|sweep|profile|bound|static}}]... [--write-failures DIR]"
+        "usage: gcr-fuzz [--seed S] [--iters K] [--oracle {{all|engine|optimize|sweep|profile|bound|static|assoc}}]... [--write-failures DIR]"
     );
     std::process::exit(2)
 }

@@ -52,7 +52,7 @@ pub fn replay(src: &str) -> Result<(), String> {
     m.run_steps_guarded(&mut gcr_exec::NullSink, 2, 50_000_000)
         .map_err(|e| format!("plain run: {e}"))?;
 
-    for oracle in [Oracle::Engine, Oracle::Sweep, Oracle::Profile, Oracle::Static] {
+    for oracle in [Oracle::Engine, Oracle::Sweep, Oracle::Profile, Oracle::Static, Oracle::Assoc] {
         run_oracle(oracle, &prog).map_err(|e| format!("{oracle}: {e}"))?;
     }
     // The optimizer oracle compares with a relative tolerance, which is

@@ -22,7 +22,7 @@
 //!    (affine) programs, within its documented tolerance on guarded ones.
 //!
 //! This crate checks them on *millions* of programs: [`gen`] draws random
-//! valid `gcr-ir` programs from a seeded grammar, [`oracles`] runs the six
+//! valid `gcr-ir` programs from a seeded grammar, [`oracles`] runs the seven
 //! metamorphic oracles above, [`mod@shrink`] minimizes any failure by
 //! loop/statement/expression deletion, and [`corpus`] replays the minimized
 //! reproducers committed under `corpus/*.loop` as ordinary unit tests. The
@@ -36,7 +36,7 @@ pub mod rng;
 pub mod shrink;
 
 pub use gen::{generate, generate_chain, GenConfig};
-pub use oracles::{run_oracle, Oracle, ALL_ORACLES};
+pub use oracles::{assoc_parity, run_oracle, Oracle, ALL_ORACLES};
 pub use rng::Rng;
 pub use shrink::shrink;
 

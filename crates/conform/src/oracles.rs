@@ -1,4 +1,4 @@
-//! The six metamorphic oracles.
+//! The seven metamorphic oracles.
 //!
 //! Each oracle takes a program and returns `Err(diagnostic)` when one of
 //! the workspace's cross-cutting invariants is violated. Panics inside the
@@ -13,6 +13,7 @@
 //! | [`Oracle::Profile`]  | reuse profiles are internally consistent | histogram masses |
 //! | [`Oracle::Bound`]    | fused reuse distances are `O(k·m)`, size-independent | max exact distance at two sizes |
 //! | [`Oracle::Static`]   | analytic miss model ≡ trace simulation at unseen sizes | miss counts per capacity and array, by construct class |
+//! | [`Oracle::Assoc`]    | single-set set-associative ≡ fully-associative sweep; per-set stack inclusion | exact miss counts |
 
 use gcr_cache::{Cache, CacheConfig, CapacitySweepSink};
 use gcr_core::checked::{optimize_checked, Pass, SafetyOptions};
@@ -37,16 +38,20 @@ pub enum Oracle {
     Bound,
     /// Analytic miss model vs trace simulation at sizes the fit never saw.
     Static,
+    /// Set-associative simulation vs the fully-associative sweep
+    /// (single-set byte equality + fixed-set-count way monotonicity).
+    Assoc,
 }
 
 /// All oracles, in documentation order.
-pub const ALL_ORACLES: [Oracle; 6] = [
+pub const ALL_ORACLES: [Oracle; 7] = [
     Oracle::Engine,
     Oracle::Optimize,
     Oracle::Sweep,
     Oracle::Profile,
     Oracle::Bound,
     Oracle::Static,
+    Oracle::Assoc,
 ];
 
 impl Oracle {
@@ -59,6 +64,7 @@ impl Oracle {
             Oracle::Profile => "profile",
             Oracle::Bound => "bound",
             Oracle::Static => "static",
+            Oracle::Assoc => "assoc",
         }
     }
 
@@ -88,6 +94,7 @@ pub fn run_oracle(oracle: Oracle, prog: &Program) -> Result<(), String> {
         Oracle::Profile => profile_consistency(prog),
         Oracle::Bound => fused_bound(prog),
         Oracle::Static => static_parity(prog),
+        Oracle::Assoc => assoc_parity(prog, ExecEngine::from_env().unwrap_or_default()),
     }));
     match res {
         Ok(r) => r,
@@ -726,6 +733,104 @@ fn static_parity(prog: &Program) -> Result<(), String> {
                     }
                 }
             }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- oracle 7
+
+/// Tee feeding the fully-associative sweep and the set-associative fan-out
+/// from one pass, batches included (the VM engine emits strips).
+struct AssocCap {
+    fa: CapacitySweepSink,
+    sa: gcr_cache::AssocSweepSink,
+}
+
+impl TraceSink for AssocCap {
+    fn access(&mut self, ev: AccessEvent) {
+        self.fa.access(ev);
+        self.sa.access(ev);
+    }
+
+    fn record_batch(&mut self, batch: &gcr_exec::TraceBatch<'_>) {
+        self.fa.record_batch(batch);
+        self.sa.record_batch(batch);
+    }
+}
+
+/// Oracle 7, engine-parameterized so the corpus replay can pin all three
+/// engines explicitly. Two laws of the exact set-associative simulator
+/// (see DESIGN.md §16 for why monotonicity pins the *set count*):
+///
+/// 1. **Single-set equality** — with `ways = capacity / line` the cache is
+///    one LRU stack, and its misses must byte-equal the reuse-distance
+///    [`CapacitySweepSink`] at the same capacity.
+/// 2. **Way monotonicity at fixed set count** — growing the ways at a
+///    fixed set count never adds misses (per-set LRU stack inclusion).
+pub fn assoc_parity(prog: &Program, engine: ExecEngine) -> Result<(), String> {
+    let binding = ParamBinding::new(vec![12; prog.params.len()]);
+    let mut rng = crate::rng::Rng::new(
+        0x5e7a_550c
+            ^ prog.body.len() as u64
+            ^ (prog.next_stmt as u64) << 16
+            ^ (prog.next_ref as u64) << 32,
+    );
+    let line: u64 = *rng.pick(&[16, 32, 64]);
+    let mut caps: Vec<u64> = (0..3).map(|_| line * rng.range(1, 96) as u64).collect();
+    caps.sort_unstable();
+    caps.dedup();
+    let sets = 1usize << rng.range(1, 4); // 2, 4 or 8 sets
+    let max_ways = 4usize;
+
+    // Single-set geometries first (index-aligned with `caps`), then the
+    // fixed-set-count way ladder.
+    let mut configs: Vec<CacheConfig> = caps
+        .iter()
+        .map(|&c| CacheConfig { size: c as usize, line: line as usize, assoc: (c / line) as usize })
+        .collect();
+    let ladder_at = configs.len();
+    configs.extend((1..=max_ways).map(|w| CacheConfig {
+        size: sets * w * line as usize,
+        line: line as usize,
+        assoc: w,
+    }));
+
+    let mut sink = AssocCap {
+        fa: CapacitySweepSink::new(line, &caps),
+        sa: gcr_cache::AssocSweepSink::new(&configs),
+    };
+    let mut m = Machine::new(prog, binding).with_engine(engine);
+    m.run_steps_guarded(&mut sink, 2, FUEL).map_err(|e| format!("run failed: {e}"))?;
+
+    if sink.fa.refs() != sink.sa.refs() {
+        return Err(format!(
+            "FA sweep saw {} refs, set-associative sweep {}",
+            sink.fa.refs(),
+            sink.sa.refs()
+        ));
+    }
+    for (i, &cap) in caps.iter().enumerate() {
+        let (fa, sa) = (sink.fa.misses(cap), sink.sa.misses(i));
+        if fa != sa {
+            return Err(format!(
+                "single set of {} lines (line {line}): set-associative {sa} misses, \
+                 FA sweep {fa}",
+                cap / line
+            ));
+        }
+    }
+    let ladder: Vec<u64> = (ladder_at..configs.len()).map(|i| sink.sa.misses(i)).collect();
+    for (w, pair) in ladder.windows(2).enumerate() {
+        if pair[1] > pair[0] {
+            return Err(format!(
+                "way monotonicity violated at {sets} sets: {} misses with {} ways > \
+                 {} misses with {} ways",
+                pair[1],
+                w + 2,
+                pair[0],
+                w + 1
+            ));
         }
     }
     Ok(())

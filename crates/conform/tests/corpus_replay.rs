@@ -90,3 +90,21 @@ fn corpus_static_parity_under_all_engines() {
     assert!(analyzed > 0, "no corpus program was analyzable — the parity test is vacuous");
     assert!(bad.is_empty(), "corpus static-parity failures:\n{}", bad.join("\n"));
 }
+
+/// The `assoc` oracle (single-set ≡ FA byte equality + way monotonicity
+/// at fixed set count) must hold on every corpus program under every
+/// engine — the set-associative `record_batch` fast path included.
+#[test]
+fn corpus_assoc_parity_under_all_engines() {
+    use gcr_exec::ExecEngine;
+
+    for path in corpus_files() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let prog = gcr_frontend::parse(&src).unwrap();
+        for engine in [ExecEngine::Interp, ExecEngine::Compiled, ExecEngine::Vm] {
+            if let Err(e) = gcr_conform::assoc_parity(&prog, engine) {
+                panic!("{}: assoc oracle failed under {engine:?}: {e}", path.display());
+            }
+        }
+    }
+}

@@ -7,12 +7,12 @@
 //! engine removes both taxes where the tape's own analysis proves it safe:
 //!
 //! * **Superinstructions.** Each compiled statement's op tape is pattern
-//!   matched once into a single [`VInst`]: constant fills, copies, fused
-//!   load-load-op-store sequences ([`VInst::BinRR`]), load-const forms
-//!   ([`VInst::BinRC`]), and read-sum chains with an optional affine
-//!   post-step ([`VInst::Chain`] — the shape of every stencil and intrinsic
+//!   matched once into a single `VInst`: constant fills, copies, fused
+//!   load-load-op-store sequences (`VInst::BinRR`), load-const forms
+//!   (`VInst::BinRC`), and read-sum chains with an optional affine
+//!   post-step (`VInst::Chain` — the shape of every stencil and intrinsic
 //!   call the frontend produces). Statements outside these shapes keep the
-//!   op tape and run as [`VInst::Micro`], so the lowering is *total*: the
+//!   op tape and run as `VInst::Micro`, so the lowering is *total*: the
 //!   VM's domain is exactly the tape compiler's domain.
 //! * **Strip execution.** Flat segments — guard-free basic blocks whose
 //!   members are unconditional statements with affine walkers — execute in
@@ -21,7 +21,7 @@
 //!   complete event stream is known before any arithmetic runs and is
 //!   handed to the sink once per strip in compressed affine form: one
 //!   [`crate::machine::BatchSlot`] (start address, stride, static fields)
-//!   per event position, via [`TraceSink::record_batch`]. The producer does
+//!   per event position, via [`crate::TraceSink::record_batch`]. The producer does
 //!   *zero* per-event work — an event-blind sink costs nothing, and a hot
 //!   sink expands addresses in one tight loop over its own state. The
 //!   arithmetic then runs as tight per-statement kernels over the strip.
@@ -35,12 +35,12 @@
 //!   would otherwise cap strips at its tiny trip count. When every trip is
 //!   statement-major safe with the inner value substituted into its
 //!   affine forms, the planner unrolls the loop body into the *parent*
-//!   strip — one [`SItem::Prime`] step re-bases the inner walkers per
+//!   strip — one `SItem::Prime` step re-bases the inner walkers per
 //!   trip, and strips run as long as the parent loop.
 //!
 //! Observational equivalence with the interpreter and the tape is
 //! non-negotiable and enforced by the differential test suite and the
-//! three-way conformance oracle: identical [`AccessEvent`] streams
+//! three-way conformance oracle: identical `AccessEvent` streams
 //! (including `end_instance` interleaving), bit-identical `f64` memory,
 //! identical [`ExecStats`], and identical fuel accounting. The strip path
 //! is taken only when the remaining fuel provably covers the whole segment
@@ -206,7 +206,7 @@ struct Strip {
     max_iters: u32,
     /// True when kernels may sweep statement-major: the affine dependence
     /// check proved no cross-instance address collision within a strip,
-    /// and every [`VInst::Micro`] instance passed the same-statement
+    /// and every `VInst::Micro` instance passed the same-statement
     /// check that makes its op-major vector execution safe.
     stmt_major: bool,
     /// True when the strip carries `Prime` steps (unrolled inner loops).
@@ -245,7 +245,7 @@ pub struct VmPlan {
 
 impl VmPlan {
     /// Lowers a compiled program to the VM. Total: every statement gets a
-    /// superinstruction (worst case [`VInst::Micro`]) and every flat
+    /// superinstruction (worst case `VInst::Micro`) and every flat
     /// segment a strip plan.
     pub fn build(cp: &CompiledProgram) -> VmPlan {
         let mut plan = VmPlan {
@@ -271,7 +271,7 @@ impl VmPlan {
     }
 
     /// Number of statements lowered to a single-opcode superinstruction
-    /// (everything except [`VInst::Micro`]).
+    /// (everything except `VInst::Micro`).
     pub fn superinstruction_count(&self) -> usize {
         self.vstmts.iter().filter(|i| !matches!(i, VInst::Micro)).count()
     }
@@ -696,7 +696,7 @@ fn deps_allow_stmt_major(accs: &[Vec<AffAcc>], strip: i64) -> bool {
     true
 }
 
-/// True when one [`VInst::Micro`] instance may execute op-major over a
+/// True when one `VInst::Micro` instance may execute op-major over a
 /// strip: one pass per op across all iterations, stores last. That
 /// reorders each iteration's reads before *earlier* iterations' stores,
 /// which is unobservable unless a read can touch the instance's own write

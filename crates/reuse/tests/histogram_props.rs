@@ -1,0 +1,104 @@
+//! Exactness laws of the reuse-distance counters.
+//!
+//! `Histogram::at_least` is bin-granular: exact at power-of-two
+//! thresholds, a documented *under*-count strictly inside a bin.
+//! `CapacityCounter` is the exact counterpart at arbitrary registered
+//! thresholds — in particular at the line-granularity capacities
+//! (`capacity / line` with non-power-of-two line counts) that regrouped
+//! layouts produce. These properties pin both claims against a brute
+//! force over random distance streams.
+
+use gcr_reuse::{CapacityCounter, Histogram};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A random distance stream with both short and long distances, so every
+/// histogram bin range gets populated.
+fn distances() -> impl Strategy<Value = Vec<u64>> {
+    vec((0u64..400).prop_map(|x| if x >= 200 { (x - 200) * 37 } else { x }), 1..120)
+}
+
+fn brute_at_least(ds: &[u64], t: u64) -> u64 {
+    ds.iter().filter(|&&d| d >= t).count() as u64
+}
+
+fn histogram_of(ds: &[u64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &d in ds {
+        h.record(d);
+    }
+    h
+}
+
+proptest! {
+    /// At powers of two (and 0 and 1, the first bin boundaries) the
+    /// log₂-binned count is exact.
+    #[test]
+    fn histogram_exact_at_bin_boundaries(ds in distances(), k in 0u32..13) {
+        let h = histogram_of(&ds);
+        let t = 1u64 << k;
+        prop_assert_eq!(h.at_least(t), brute_at_least(&ds, t), "threshold {}", t);
+        prop_assert_eq!(h.at_least(0), ds.len() as u64);
+    }
+
+    /// At any threshold the bin-granular count never *over*-counts, and
+    /// its undercount is bounded by the population of the bin the
+    /// threshold cuts through.
+    #[test]
+    fn histogram_undercount_is_bounded(ds in distances(), t in 1u64..5000) {
+        let h = histogram_of(&ds);
+        let exact = brute_at_least(&ds, t);
+        let binned = h.at_least(t);
+        prop_assert!(binned <= exact, "overcount at {}: {} > {}", t, binned, exact);
+        // The cut bin is [2^(bit-1), 2^bit); only its members can be lost.
+        let lo = if t <= 1 { 0 } else { 1u64 << (63 - (t - 1).leading_zeros()) };
+        let hi = if t <= 1 { 1 } else { lo * 2 };
+        let cut = ds.iter().filter(|&&d| d >= lo && d < hi).count() as u64;
+        prop_assert!(exact - binned <= cut, "lost more than the cut bin at {}", t);
+    }
+
+    /// `CapacityCounter` is exact at every registered threshold —
+    /// including line-granularity capacities that are not powers of two.
+    #[test]
+    fn capacity_counter_exact_at_line_granularity(
+        ds in distances(),
+        line in 2u64..9,
+        lines in vec(1u64..200, 1..8),
+    ) {
+        let caps: Vec<u64> = lines.iter().map(|&k| k * line).collect();
+        let mut c = CapacityCounter::new(caps.clone());
+        for &d in &ds {
+            c.record(d);
+        }
+        prop_assert_eq!(c.recorded(), ds.len() as u64);
+        for &cap in &caps {
+            prop_assert_eq!(c.at_least(cap), brute_at_least(&ds, cap), "cap {}", cap);
+        }
+    }
+
+    /// The exact counter refines the binned one: at a registered
+    /// power-of-two threshold both agree; at any registered threshold the
+    /// exact count is ≥ the binned count.
+    #[test]
+    fn capacity_counter_refines_histogram(ds in distances(), k in 0u32..13, t in 1u64..5000) {
+        let h = histogram_of(&ds);
+        let mut c = CapacityCounter::new(vec![1u64 << k, t]);
+        for &d in &ds {
+            c.record(d);
+        }
+        prop_assert_eq!(c.at_least(1 << k), h.at_least(1 << k));
+        prop_assert!(c.at_least(t) >= h.at_least(t));
+    }
+
+    /// Merging histograms is counting on the concatenated stream.
+    #[test]
+    fn histogram_merge_is_concatenation(a in distances(), b in distances(), k in 0u32..13) {
+        let mut ha = histogram_of(&a);
+        let hb = histogram_of(&b);
+        ha.merge(&hb);
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(ha.reuses, all.len() as u64);
+        prop_assert_eq!(ha.at_least(1 << k), brute_at_least(&all, 1 << k));
+    }
+}

@@ -279,6 +279,10 @@ impl Server {
             Ok(v) => v as usize,
             Err(resp) => return resp,
         };
+        let hier = match self.hierarchy_of(req) {
+            Ok(h) => h,
+            Err(resp) => return resp,
+        };
         let cache = Arc::clone(&self.cache);
         let result = self.run_pooled(deadline, move || -> Result<Json, GcrError> {
             let apps = gcr_apps::evaluation_apps();
@@ -288,7 +292,7 @@ impl Server {
                 .expect("validated above");
             let (m, _report, diagnostics) =
                 measure_strategy_report_cached(&cache, "gcr-serve", app, strategy, size, steps)?;
-            Ok(Json::O(vec![
+            let mut body = vec![
                 ("app", Json::S(app.name.into())),
                 ("strategy", Json::S(m.label.clone())),
                 ("size", Json::I(size)),
@@ -300,7 +304,32 @@ impl Server {
                 ("tlb", Json::U(m.misses.tlb)),
                 ("memory_traffic", Json::U(m.misses.memory_traffic)),
                 ("diagnostics", Json::A(diagnostics.into_iter().map(Json::S).collect())),
-            ]))
+            ];
+            if let Some(spec) = hier {
+                // Hierarchy measurements are descriptor-parameterized and
+                // skip the measurement cache (its on-disk key format is
+                // strategy x size x steps only).
+                let (prog, bind) = (app.build)(size);
+                let mut tracer = gcr_core::Tracer::disabled();
+                let opt = apply_strategy_checked_traced(
+                    &prog,
+                    strategy,
+                    &SafetyOptions::default(),
+                    &mut tracer,
+                )?;
+                let layout = opt.layout(&bind);
+                let run = gcr_cache::measure_hierarchy(
+                    &opt.program,
+                    bind,
+                    layout,
+                    gcr_exec::ExecEngine::default(),
+                    steps,
+                    gcr_bench::MEASURE_FUEL,
+                    &spec,
+                )?;
+                body.push(("hierarchy", hierarchy_body(&run)));
+            }
+            Ok(Json::O(body))
         });
         match result {
             Ok(Ok(body)) => self.ok_resp(body),
@@ -352,6 +381,20 @@ impl Server {
                 )
             }
         };
+        let hier = match self.hierarchy_of(req) {
+            Ok(h) => h,
+            Err(resp) => return resp,
+        };
+        if hier.is_some() && size > MAX_SIZE {
+            return self.err(
+                ErrCode::BadRequest,
+                format!(
+                    "hierarchy descriptors are answered by direct simulation, \
+                     which is bounded at size {MAX_SIZE} (requested {size})"
+                ),
+                vec![],
+            );
+        }
         let source = req.body.clone();
         let result = self.run_pooled(deadline, move || -> Result<Json, gcr_static::StaticError> {
             let prog = gcr_frontend::parse(&source).map_err(GcrError::from)?;
@@ -362,6 +405,29 @@ impl Server {
                 &SafetyOptions::default(),
                 &mut tracer,
             )?;
+            if let Some(hspec) = hier {
+                // No symbolic model covers set-associative multi-level
+                // hierarchies; the descriptor is answered by one exact
+                // simulation at the requested (bounded) size.
+                let bind = gcr_ir::ParamBinding::new(vec![size; opt.program.params.len()]);
+                let layout = opt.layout(&bind);
+                let run = gcr_cache::measure_hierarchy(
+                    &opt.program,
+                    bind,
+                    layout,
+                    gcr_exec::ExecEngine::default(),
+                    steps,
+                    gcr_static::DEFAULT_PROBE_FUEL,
+                    &hspec,
+                )
+                .map_err(gcr_static::StaticError::Gcr)?;
+                return Ok(Json::O(vec![
+                    ("size", Json::I(size)),
+                    ("steps", Json::U(steps as u64)),
+                    ("method", Json::S("simulation".into())),
+                    ("hierarchy", hierarchy_body(&run)),
+                ]));
+            }
             let spec = gcr_static::SweepSpec::new(32, PREDICT_CAPACITIES.to_vec(), steps);
             let analysis = gcr_static::Analyzer::analyze_with(
                 &opt.program,
@@ -503,6 +569,16 @@ impl Server {
         Ok(Duration::from_millis(ms.clamp(1, MAX_DEADLINE_MS)))
     }
 
+    /// Parses the optional `hierarchy` header into a validated descriptor.
+    fn hierarchy_of(&self, req: &Request) -> Result<Option<gcr_cache::HierarchySpec>, Response> {
+        match req.header("hierarchy") {
+            None => Ok(None),
+            Some(desc) => gcr_cache::HierarchySpec::parse(desc).map(Some).map_err(|why| {
+                self.err(ErrCode::BadRequest, format!("bad hierarchy descriptor: {why}"), vec![])
+            }),
+        }
+    }
+
     fn header_int(
         &self,
         req: &Request,
@@ -635,6 +711,55 @@ fn big_json(v: u128) -> Json {
 /// The `ok` body of a `predict` answered by the symbolic model. Field
 /// names match the `prediction` section of `gcr-report/v1` so clients
 /// parse both with one schema.
+/// The `hierarchy` object of `measure`/`predict` bodies. Field names
+/// match the `hierarchy` section of `gcr-report/v1` so clients read one
+/// schema.
+fn hierarchy_body(run: &gcr_cache::HierarchyRun) -> Json {
+    Json::O(vec![
+        ("spec", Json::S(run.spec.clone())),
+        ("line_bytes", Json::U(run.line)),
+        ("refs", Json::U(run.counts.refs)),
+        (
+            "levels",
+            Json::A(
+                run.configs
+                    .iter()
+                    .zip(&run.counts.levels)
+                    .map(|(cfg, c)| {
+                        Json::O(vec![
+                            ("size", Json::U(cfg.size as u64)),
+                            ("line", Json::U(cfg.line as u64)),
+                            ("assoc", Json::U(cfg.assoc as u64)),
+                            ("hits", Json::U(c.hits)),
+                            ("misses", Json::U(c.misses)),
+                            ("writebacks", Json::U(c.writebacks)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("prefetches", Json::U(run.counts.prefetches)),
+        ("memory_fills", Json::U(run.counts.memory_fills)),
+        ("memory_writebacks", Json::U(run.counts.memory_writebacks)),
+        ("memory_traffic", Json::U(run.counts.memory_traffic)),
+        (
+            "sweep",
+            Json::A(
+                run.sweep
+                    .iter()
+                    .map(|b| {
+                        Json::O(vec![
+                            ("capacity", Json::U(b.capacity)),
+                            ("fa_misses", Json::U(b.fa_misses)),
+                            ("assoc_misses", Json::U(b.assoc_misses)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn prediction_body(
     prog: &gcr_ir::Program,
     m: &gcr_static::Model,
@@ -758,6 +883,59 @@ for i = 1, N {
         assert_eq!(bad.code, Some(ErrCode::BadRequest));
         let bad = handle(&s, &Request::new("measure").with("app", "ADI").with("size", 100_000));
         assert_eq!(bad.code, Some(ErrCode::BadRequest), "size bound");
+    }
+
+    #[test]
+    fn measure_accepts_hierarchy_descriptors() {
+        let s = server();
+        let req = Request::new("measure")
+            .with("app", "ADI")
+            .with("strategy", "original")
+            .with("size", 10)
+            .with("steps", 1)
+            .with("hierarchy", "l1=512/32/4,l2=4K/128/fa,prefetch=next-line");
+        let a = handle(&s, &req);
+        assert!(a.is_ok(), "{}", a.body);
+        assert!(a.body.contains("\"hierarchy\""), "{}", a.body);
+        assert!(
+            a.body.contains(
+                "\"spec\": \"l1=512/32/4,l2=4K/128/fa,policy=inclusive,prefetch=next-line\""
+            ),
+            "{}",
+            a.body
+        );
+        assert!(a.body.contains("\"assoc_misses\""), "{}", a.body);
+        let b = handle(&s, &req);
+        assert_eq!(a, b, "hierarchy measurement must be deterministic");
+
+        let bad =
+            handle(&s, &Request::new("measure").with("app", "ADI").with("hierarchy", "l1=8K/33/4"));
+        assert_eq!(bad.code, Some(ErrCode::BadRequest), "bad descriptor: {}", bad.body);
+    }
+
+    #[test]
+    fn predict_with_hierarchy_simulates_within_bounds() {
+        let s = server();
+        let req = Request::new("predict")
+            .with("strategy", "fuse")
+            .with("size", 48)
+            .with("hierarchy", "l1=512/32/2,l2=4K/32/fa,policy=exclusive")
+            .with_body(DEMO);
+        let a = handle(&s, &req);
+        assert!(a.is_ok(), "{}", a.body);
+        assert!(a.body.contains("\"method\": \"simulation\""), "{}", a.body);
+        assert!(a.body.contains("\"fa_misses\""), "{}", a.body);
+
+        // Descriptors force simulation, so the predict size bound tightens
+        // to the simulation bound.
+        let far = handle(
+            &s,
+            &Request::new("predict")
+                .with("size", 1_000_000i64)
+                .with("hierarchy", "l1=512/32/2")
+                .with_body(DEMO),
+        );
+        assert_eq!(far.code, Some(ErrCode::BadRequest), "{}", far.body);
     }
 
     #[test]
